@@ -1,0 +1,64 @@
+"""FedGuard breaking-point experiments (paper §V-A "Testing FEDGUARD limits"
+and §VI-B "Limiting factors").
+
+Two sweeps:
+
+* **Malicious fraction.** The paper argues FedGuard's mean-threshold
+  selection "should be able to defend up to an upper limit of 50 %
+  malicious peers selected for a given round". Sweeping the label-flip
+  fraction from 30 % to 60 % locates the breakdown empirically.
+* **Decoder poisoning.** §VI-B warns that decoders "trained with regard
+  to a malicious objective ... in a majority position" can defeat the
+  audit. The decoder-poisoning attack submits *honest classifiers* with
+  corrupted decoders — at low fractions the benign decoders' synthetic
+  data dominates and nothing breaks; at a majority the validation set
+  itself is poisoned.
+"""
+
+import pytest
+
+from repro.attacks import AttackScenario, DecoderPoisoningAttack
+from repro.defenses import FedGuard
+from repro.fl.simulation import run_federation
+
+from .conftest import EXTRA, bench_config
+
+
+@pytest.mark.parametrize("fraction", [0.3, 0.5, 0.6])
+def test_limit_label_flip_fraction(benchmark, fraction):
+    cfg = bench_config()
+    scenario = AttackScenario.label_flipping(fraction)
+
+    def task():
+        return run_federation(cfg, FedGuard(), scenario)
+
+    history = benchmark.pedantic(task, rounds=1, iterations=1)
+    EXTRA[f"fedguard-labelflip-{int(fraction * 100)}"] = history
+    mean, std = history.tail_stats()
+    benchmark.extra_info["tail_mean"] = round(mean, 4)
+    benchmark.extra_info["tail_std"] = round(std, 4)
+    assert len(history) == cfg.rounds
+
+
+@pytest.mark.parametrize("fraction", [0.3, 0.6])
+def test_limit_decoder_poisoning(benchmark, fraction):
+    cfg = bench_config()
+    scenario = AttackScenario(
+        name=f"decoder_poisoning_{int(fraction * 100)}",
+        attack=DecoderPoisoningAttack(mode="shuffle"),
+        malicious_fraction=fraction,
+    )
+
+    def task():
+        return run_federation(cfg, FedGuard(), scenario)
+
+    history = benchmark.pedantic(task, rounds=1, iterations=1)
+    EXTRA[f"fedguard-decoderpoison-{int(fraction * 100)}"] = history
+    mean, _ = history.tail_stats()
+    benchmark.extra_info["tail_mean"] = round(mean, 4)
+    # note: the classifier updates are HONEST here; accuracy can stay
+    # high even when the audit is skewed — the interesting signal is the
+    # benign-rejection rate.
+    benchmark.extra_info["benign_fpr"] = round(
+        history.detection_summary()["fpr"], 3
+    )

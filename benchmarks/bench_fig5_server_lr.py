@@ -1,0 +1,28 @@
+"""Fig. 5 regeneration: FedGuard stability vs server learning rate.
+
+The paper stresses FedGuard with 40 % label-flipping attackers and shows
+that a server learning rate of 0.3 (vs the default 1.0) smooths the
+occasional rounds where the audit fails, at the cost of slower
+convergence. Each bench run produces one of the two Fig. 5 curves.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_cell
+
+from .conftest import EXTRA, bench_config
+
+
+@pytest.mark.parametrize("server_lr", [1.0, 0.3])
+def test_fig5_fedguard_server_lr(benchmark, server_lr):
+    cfg = bench_config(server_lr=server_lr)
+
+    def task():
+        return run_cell(cfg, "fedguard", "label_flipping_40")
+
+    history = benchmark.pedantic(task, rounds=1, iterations=1)
+    EXTRA[f"fedguard-lr-{server_lr:g}"] = history
+    mean, std = history.tail_stats()
+    benchmark.extra_info["tail_mean"] = round(mean, 4)
+    benchmark.extra_info["tail_std"] = round(std, 4)
+    assert len(history) == cfg.rounds

@@ -1,0 +1,78 @@
+"""Microbenchmarks of the NN substrate's hot paths.
+
+Not tied to a paper table — these measure the primitives every federated
+round is built from (conv forward/backward via im2col, a full client
+training step, CVAE ELBO step, flat-vector round-trip), so performance
+regressions in the substrate are visible independently of the federation
+benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import scaled_cnn, scaled_cvae
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    return rng.random((32, 1, 16, 16)), rng.integers(0, 10, 32)
+
+
+def test_bench_cnn_forward(benchmark, batch):
+    x, _ = batch
+    model = scaled_cnn(16, np.random.default_rng(1))
+    benchmark(lambda: model(x))
+
+
+def test_bench_cnn_training_step(benchmark, batch):
+    x, y = batch
+    model = scaled_cnn(16, np.random.default_rng(1))
+    opt = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    ce = nn.SoftmaxCrossEntropy()
+
+    def step():
+        ce(model(x), y)
+        opt.zero_grad()
+        model.backward(ce.backward())
+        opt.step()
+
+    benchmark(step)
+
+
+def test_bench_cvae_training_step(benchmark, batch):
+    x, y = batch
+    flat = x.reshape(32, -1)
+    cvae = scaled_cvae(input_dim=256, rng=np.random.default_rng(1))
+    opt = nn.Adam(cvae.parameters(), lr=1e-3)
+    loss_fn = nn.CVAELoss()
+    rng = np.random.default_rng(2)
+
+    def step():
+        target = cvae.reconstruction_target(flat, y)
+        recon, mu, logvar = cvae.forward(flat, y, rng)
+        loss_fn(recon, target, mu, logvar)
+        opt.zero_grad()
+        cvae.backward(*loss_fn.backward())
+        opt.step()
+
+    benchmark(step)
+
+
+def test_bench_decoder_generation(benchmark):
+    cvae = scaled_cvae(input_dim=256, rng=np.random.default_rng(1))
+    labels = np.tile(np.arange(10), 10)
+    rng = np.random.default_rng(2)
+    benchmark(lambda: cvae.generate(labels, rng))
+
+
+def test_bench_parameter_roundtrip(benchmark):
+    model = scaled_cnn(16, np.random.default_rng(1))
+    buf = np.empty(model.count_parameters())
+
+    def roundtrip():
+        nn.parameters_to_vector(model, out=buf)
+        nn.vector_to_parameters(buf, model)
+
+    benchmark(roundtrip)

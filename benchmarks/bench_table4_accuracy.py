@@ -1,0 +1,43 @@
+"""Table IV / Fig. 4 regeneration: the full strategy × scenario matrix.
+
+Each bench cell is one complete federated run of the benchmark-scale
+configuration. The measured wall time *is* the quantity of interest (a
+federated run), and the resulting accuracy histories feed both the
+Table IV tail statistics and the Fig. 4 curves assembled by
+``bench_zreport.py``.
+
+Expected shape (paper Table IV):
+
+* additive noise / sign flip / same value at 50 % malicious:
+  FedAvg, GeoMed, Krum collapse to ~chance; FedGuard reaches no-attack
+  accuracy; Spectral survives noise and same-value.
+* label flipping at 30 %: all strategies stay high; FedGuard most stable.
+* no attack: everything converges.
+"""
+
+import pytest
+
+from .conftest import run_and_store
+
+STRATEGIES = ["fedavg", "geomed", "krum", "spectral", "fedguard"]
+SCENARIOS = [
+    "additive_noise_50",
+    "label_flipping_30",
+    "sign_flipping_50",
+    "same_value_50",
+    "no_attack",
+]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_table4_cell(benchmark, strategy, scenario):
+    history = run_and_store(benchmark, strategy, scenario)
+    assert len(history) == 6
+    mean, std = history.tail_stats()
+    assert 0.0 <= mean <= 1.0
+    benchmark.extra_info["tail_mean"] = round(mean, 4)
+    benchmark.extra_info["tail_std"] = round(std, 4)
+    benchmark.extra_info["detection_tpr"] = round(
+        history.detection_summary()["tpr"], 3
+    ) if scenario != "no_attack" else None

@@ -1,0 +1,125 @@
+"""Table V regeneration: communication and computation overhead.
+
+Two parts:
+
+1. **Analytic wire bytes at the paper's exact scale** (N=100, m=50,
+   Table II/III architectures): reproduces the +20 % server-download and
+   +10 % total-communication overhead of FedGuard from first principles.
+   Asserted, not timed — the numbers are deterministic.
+
+2. **Server-side aggregation-cost microbenchmarks**: the per-round compute
+   each strategy adds on the server, on realistic update matrices
+   (m=50 clients × the scaled model dimensionality). This is the "training
+   time / round" column's server component: GeoMed (Weiszfeld iterations),
+   Krum (pairwise distances), Spectral (VAE reconstruction), FedGuard
+   (synthesis + m model evaluations).
+
+The measured end-to-end round times of the federated runs (client training
+included) are collected by the Table IV benches and reported by
+``bench_zreport.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import ModelConfig
+from repro.defenses import FedAvg, FedGuard, GeoMed, Krum
+from repro.experiments import table5_analytic
+from repro.fl import ClientUpdate
+from repro.fl.client import train_cvae
+from repro.fl.strategy import ServerContext
+from repro.models import build_classifier, build_cvae, build_decoder
+
+from .conftest import bench_config
+
+M_CLIENTS = 50
+
+
+def test_table5_analytic_paper_scale(benchmark):
+    """FedGuard adds ≈+20 % downloads / ≈+10 % total at the paper's scale."""
+    budgets, _ = benchmark(
+        lambda: table5_analytic(ModelConfig.paper(), clients_per_round=M_CLIENTS)
+    )
+    base, guard = budgets["fedavg"], budgets["fedguard"]
+    assert guard.server_download_bytes / base.server_download_bytes == pytest.approx(
+        1.20, abs=0.01
+    )
+    assert guard.total_bytes / base.total_bytes == pytest.approx(1.10, abs=0.01)
+    # strictly no change in the broadcast direction
+    assert guard.server_upload_bytes == base.server_upload_bytes
+
+
+@pytest.fixture(scope="module")
+def update_matrix():
+    """m=50 realistic update vectors at the scaled model dimensionality."""
+    cfg = bench_config().model
+    rng = np.random.default_rng(0)
+    base = nn.parameters_to_vector(build_classifier(cfg, rng))
+    return [
+        ClientUpdate(i, base + rng.standard_normal(base.size) * 0.05, 10)
+        for i in range(M_CLIENTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def guard_updates(update_matrix):
+    """Same updates plus a real trained decoder attached to each."""
+    from repro.data import SynthMnistConfig, generate_dataset
+
+    cfg = bench_config().model
+    rng = np.random.default_rng(1)
+    data = generate_dataset(240, rng, SynthMnistConfig(image_size=cfg.image_size))
+    cvae = build_cvae(cfg, rng)
+    train_cvae(cvae, data, epochs=10, lr=1e-3, batch_size=32, rng=rng)
+    theta = nn.parameters_to_vector(cvae.decoder)
+    return [
+        ClientUpdate(u.client_id, u.weights, u.num_samples, decoder_weights=theta)
+        for u in update_matrix
+    ]
+
+
+@pytest.fixture(scope="module")
+def server_context():
+    cfg = bench_config()
+    return ServerContext(
+        make_classifier=lambda: build_classifier(cfg.model, np.random.default_rng(2)),
+        make_decoder=lambda: build_decoder(cfg.model, np.random.default_rng(2)),
+        num_classes=10,
+        t_samples=2 * M_CLIENTS,
+        class_probs=np.full(10, 0.1),
+        rng=np.random.default_rng(3),
+    )
+
+
+def test_bench_aggregate_fedavg(benchmark, update_matrix, server_context):
+    zeros = np.zeros_like(update_matrix[0].weights)
+    benchmark.pedantic(
+        lambda: FedAvg().aggregate(1, update_matrix, zeros, server_context),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_aggregate_geomed(benchmark, update_matrix, server_context):
+    zeros = np.zeros_like(update_matrix[0].weights)
+    benchmark.pedantic(
+        lambda: GeoMed().aggregate(1, update_matrix, zeros, server_context),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_aggregate_krum(benchmark, update_matrix, server_context):
+    zeros = np.zeros_like(update_matrix[0].weights)
+    benchmark.pedantic(
+        lambda: Krum().aggregate(1, update_matrix, zeros, server_context),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_aggregate_fedguard(benchmark, guard_updates, server_context):
+    zeros = np.zeros_like(guard_updates[0].weights)
+    result = benchmark.pedantic(
+        lambda: FedGuard().aggregate(1, guard_updates, zeros, server_context),
+        rounds=3, iterations=1,
+    )
+    assert result.metrics["synthetic_samples"] == 100 * M_CLIENTS

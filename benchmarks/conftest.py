@@ -1,0 +1,67 @@
+"""Shared benchmark configuration and result collection.
+
+Every bench executes one real federated run (rounds=1/iterations=1 —
+federations are minutes-scale, repetition would be wasteful) and deposits
+its History into a session-wide store. ``bench_zreport.py`` (alphabetically
+last) assembles the stored histories into the paper's tables and figures
+under ``benchmarks/out/``.
+
+The benchmark configuration is a further-reduced variant of
+``paper_scaled`` so the full 25-cell Table IV matrix plus ablations
+completes in tens of minutes on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.config import FederationConfig
+from repro.experiments.runner import run_cell
+from repro.fl.history import History
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+# (strategy, scenario) -> History, shared across all bench modules.
+RESULTS: dict[tuple[str, str], History] = {}
+# name -> History, for ablations / fig5 variants.
+EXTRA: dict[str, History] = {}
+
+
+def bench_config(**overrides) -> FederationConfig:
+    """The benchmark-scale federation (a reduced paper_scaled).
+
+    Sized so the full ~50-cell suite (every cell is a complete federated
+    run) finishes in roughly half an hour on a single CPU core: fewer
+    clients and rounds than paper_scaled, same 240 samples per client and
+    the same m/N = 1/2 sampling ratio.
+    """
+    cfg = FederationConfig.paper_scaled(
+        rounds=6,
+        n_clients=10,
+        clients_per_round=5,
+        train_samples=2400,   # 240 samples per client, as in paper_scaled
+        test_samples=250,
+        samples_per_client_factor=4,  # t = 20: keep the audit well-sampled at m = 5
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def run_and_store(benchmark, strategy_name: str, scenario_name: str,
+                  config: FederationConfig | None = None) -> History:
+    """Benchmark one federated run and remember its history for reporting."""
+    cfg = config if config is not None else bench_config()
+
+    def task():
+        return run_cell(cfg, strategy_name, scenario_name)
+
+    history = benchmark.pedantic(task, rounds=1, iterations=1)
+    RESULTS[(strategy_name, scenario_name)] = history
+    return history
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: FedGuard vs undefended FedAvg under a 50 % sign-flip attack.
+
+Runs two small federations on SynthMNIST — one aggregated with plain
+FedAvg, one with FedGuard — while half the clients flip the sign of every
+update they send. Prints the per-round accuracy of both, FedGuard's
+malicious-update detection quality, and an ASCII rendition of the curves.
+
+    python examples/quickstart.py [--rounds N] [--seed S]
+
+Takes a couple of minutes on a laptop CPU.
+"""
+
+import argparse
+
+from repro.attacks import AttackScenario
+from repro.config import FederationConfig
+from repro.defenses import FedAvg, FedGuard
+from repro.experiments import ascii_series
+from repro.fl import run_federation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = FederationConfig.paper_scaled(seed=args.seed, rounds=args.rounds)
+    scenario = AttackScenario.sign_flipping(0.5)
+
+    print(f"Federation: N={config.n_clients} clients, m={config.clients_per_round} "
+          f"per round, {args.rounds} rounds, 50% sign-flipping attackers\n")
+
+    print("running FedAvg (no defense)...")
+    fedavg_history = run_federation(config, FedAvg(), scenario)
+    print("running FedGuard...")
+    fedguard_history = run_federation(config, FedGuard(), scenario)
+
+    print("\nper-round global test accuracy:")
+    print("round | fedavg | fedguard")
+    for r, (a, g) in enumerate(
+        zip(fedavg_history.accuracies, fedguard_history.accuracies), start=1
+    ):
+        print(f"{r:5d} | {a:6.3f} | {g:8.3f}")
+
+    detection = fedguard_history.detection_summary()
+    print(f"\nFedGuard detection: caught {detection['tpr']:.0%} of malicious "
+          f"submissions, rejected {detection['fpr']:.0%} of benign ones")
+
+    mean, std = fedguard_history.tail_stats()
+    print(f"FedGuard tail accuracy: {mean:.2%} ± {std:.2%}")
+    mean, std = fedavg_history.tail_stats()
+    print(f"FedAvg   tail accuracy: {mean:.2%} ± {std:.2%}\n")
+
+    print(ascii_series(
+        {"fedavg": fedavg_history.accuracies,
+         "fedguard": fedguard_history.accuracies},
+        title="accuracy vs round (sign flipping, 50% malicious)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Detecting defective sensors with FedGuard (paper conclusion use case).
+
+The paper's conclusion suggests FedGuard's audit mechanism "could further
+be used ... [for] detection of defective sensors in volatile environments".
+This example runs that scenario: 30 % of clients have faulty cameras
+(heavy noise / stuck pixel blocks) but are otherwise honest. FedGuard's
+synthetic-data audit flags their underperforming updates, and a
+reputation-based sampler accumulates the signal into a per-client health
+score the operator can read off.
+
+    python examples/sensor_fault_detection.py [--rounds N] [--mode noise|stuck|dead]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import AttackScenario, SensorFaultAttack
+from repro.config import FederationConfig
+from repro.defenses import FedGuard
+from repro.fl import ReputationSampler
+from repro.fl.simulation import build_federation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--mode", choices=["noise", "stuck", "dead"], default="noise")
+    parser.add_argument("--severity", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = FederationConfig.paper_scaled(seed=args.seed, rounds=args.rounds)
+    severity = args.severity if args.severity is not None else (
+        0.6 if args.mode == "noise" else 0.5
+    )
+    fault = SensorFaultAttack(
+        mode=args.mode, severity=severity, image_size=config.model.image_size
+    )
+    scenario = AttackScenario(
+        name=f"sensor_{args.mode}", attack=fault, malicious_fraction=0.3
+    )
+
+    sampler = ReputationSampler(decay=0.6, epsilon=0.25)
+    server = build_federation(config, FedGuard(), scenario, sampler=sampler)
+    history = server.run(verbose=False)
+
+    print(f"sensor fault mode={args.mode}, severity={severity}, "
+          f"30% of {config.n_clients} clients affected\n")
+    mean, std = history.tail_stats()
+    detection = history.detection_summary()
+    print(f"global model tail accuracy: {mean:.2%} ± {std:.2%}")
+    print(f"faulty-update filtering: tpr={detection['tpr']:.2f} "
+          f"fpr={detection['fpr']:.2f}\n")
+
+    reputation = sampler.reputation(config.n_clients)
+    print("per-client health score (reputation), * = actually faulty:")
+    order = np.argsort(reputation)
+    for cid in order:
+        marker = "*" if server.clients[cid].is_malicious else " "
+        bar = "#" * int(reputation[cid] * 40)
+        print(f"  client {cid:2d} {marker} {reputation[cid]:.2f} {bar}")
+
+    faulty = np.array([c.is_malicious for c in server.clients])
+    if faulty.any() and (~faulty).any():
+        separation = reputation[~faulty].mean() - reputation[faulty].mean()
+        print(f"\nhealthy-vs-faulty reputation gap: {separation:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

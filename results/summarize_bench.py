@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Summarize benchmarks/out artifacts after a benchmark run (dev helper)."""
+
+import json
+import pathlib
+import re
+import sys
+
+OUT = pathlib.Path(__file__).parent.parent / "benchmarks" / "out"
+
+
+def main():
+    for name in ["table4.md", "table5_analytic.md", "table5_measured.md",
+                 "ablations.md"]:
+        path = OUT / name
+        if path.exists():
+            print(f"===== {name}")
+            print(path.read_text())
+    fig5 = OUT / "fig5.csv"
+    if fig5.exists():
+        print("===== fig5.csv")
+        print(fig5.read_text())
+    print("===== files:", sorted(p.name for p in OUT.glob("*")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+This shim enables ``pip install -e . --no-use-pep517`` (legacy
+``setup.py develop``), which needs no wheel support. All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

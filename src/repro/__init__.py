@@ -1,0 +1,42 @@
+"""FedGuard reproduction library.
+
+A from-scratch, pure-NumPy reproduction of *FedGuard: Selective Parameter
+Aggregation for Poisoning Attack Mitigation in Federated Learning*
+(IEEE CLUSTER 2023), including every substrate the paper depends on:
+
+* :mod:`repro.nn` — a vectorized NumPy neural-network framework;
+* :mod:`repro.models` — the paper's exact Table II classifier and
+  Table III CVAE (plus scaled variants);
+* :mod:`repro.data` — SynthMNIST generation and Dirichlet partitioning;
+* :mod:`repro.fl` — the federated simulation (Algorithm 1);
+* :mod:`repro.attacks` — the four poisoning attacks of Section IV-B plus
+  backdoor, optimized (Fang-style), decoder-poisoning, sensor-fault and
+  composite extensions;
+* :mod:`repro.defenses` — FedAvg, GeoMed, Krum, Spectral and FedGuard,
+  plus coordinate median, trimmed mean, norm thresholding, Bulyan and
+  from-scratch PDGAN / FedCVAE reproductions;
+* :mod:`repro.metrics` — per-class accuracy and attack-success metrics;
+* :mod:`repro.experiments` — reproduction harness for every table/figure,
+  detection ROC analysis, update-space geometry, multi-seed replication;
+* :mod:`repro.cli` — ``python -m repro`` experiment runner.
+
+Quickstart::
+
+    from repro.config import FederationConfig
+    from repro.defenses import FedGuard
+    from repro.attacks import AttackScenario
+    from repro.fl import run_federation
+
+    history = run_federation(
+        FederationConfig.paper_scaled(),
+        FedGuard(),
+        AttackScenario.sign_flipping(0.5),
+    )
+    print(history.tail_stats())
+"""
+
+from .config import FederationConfig, ModelConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["FederationConfig", "ModelConfig", "__version__"]

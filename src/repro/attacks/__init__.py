@@ -1,0 +1,33 @@
+"""Poisoning attacks and attack scenarios (paper Section IV-B)."""
+
+from .backdoor import BackdoorAttack, apply_trigger, backdoor_success_rate
+from .composite import CompositeAttack
+from .base import Attack, DataPoisoningAttack, ModelPoisoningAttack
+from .data_poisoning import PAPER_FLIP_PAIRS, LabelFlippingAttack
+from .decoder_poisoning import DecoderPoisoningAttack
+from .optimized import DirectedDeviationAttack, ScalingAttack
+from .model_poisoning import AdditiveNoiseAttack, SameValueAttack, SignFlippingAttack
+from .scenario import PAPER_SCENARIOS, AttackScenario, no_attack
+from .sensor_fault import SensorFaultAttack
+
+__all__ = [
+    "Attack",
+    "ModelPoisoningAttack",
+    "DataPoisoningAttack",
+    "SameValueAttack",
+    "SignFlippingAttack",
+    "AdditiveNoiseAttack",
+    "LabelFlippingAttack",
+    "PAPER_FLIP_PAIRS",
+    "AttackScenario",
+    "no_attack",
+    "PAPER_SCENARIOS",
+    "BackdoorAttack",
+    "apply_trigger",
+    "backdoor_success_rate",
+    "DirectedDeviationAttack",
+    "ScalingAttack",
+    "SensorFaultAttack",
+    "DecoderPoisoningAttack",
+    "CompositeAttack",
+]

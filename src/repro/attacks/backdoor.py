@@ -1,0 +1,106 @@
+"""Backdoor (trigger-pattern) data poisoning — paper reference [10].
+
+Sun et al., "Can you really backdoor federated learning?" study attackers
+who stamp a small pixel trigger onto a fraction of their local samples and
+relabel them to a target class. The poisoned model behaves normally on
+clean data (main-task accuracy barely moves — the property that makes
+backdoors hard to catch) but misclassifies any input carrying the trigger.
+
+This extends the paper's evaluated attack set; FedGuard audits updates on
+*clean* synthetic data, so backdoors are a genuinely adversarial test of
+its selection rule (a backdoored update can score well on clean digits).
+The benchmark measures both clean accuracy and the backdoor success rate
+via :func:`apply_trigger`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import DataPoisoningAttack
+
+__all__ = ["BackdoorAttack", "apply_trigger", "backdoor_success_rate"]
+
+
+def apply_trigger(
+    features: np.ndarray,
+    image_size: int,
+    patch_size: int = 3,
+    value: float = 1.0,
+) -> np.ndarray:
+    """Stamp a ``patch_size``² bright square into the bottom-right corner.
+
+    Returns a copy; input rows are flattened ``image_size``² images.
+    """
+    features = np.array(features, copy=True)
+    images = features.reshape(features.shape[0], image_size, image_size)
+    images[:, -patch_size:, -patch_size:] = value
+    return images.reshape(features.shape[0], -1)
+
+
+class BackdoorAttack(DataPoisoningAttack):
+    """Stamp a trigger on a fraction of local samples and relabel them.
+
+    Parameters
+    ----------
+    target_class:
+        The label every triggered sample is rewritten to.
+    poison_fraction:
+        Fraction of the client's local data to poison.
+    patch_size:
+        Side of the square trigger (bottom-right corner).
+    image_size:
+        Side of the (square) input images; needed to place the patch.
+    """
+
+    name = "backdoor"
+
+    def __init__(
+        self,
+        image_size: int,
+        target_class: int = 0,
+        poison_fraction: float = 0.5,
+        patch_size: int = 3,
+    ) -> None:
+        if not 0.0 < poison_fraction <= 1.0:
+            raise ValueError(f"poison_fraction must be in (0, 1], got {poison_fraction}")
+        if patch_size <= 0 or patch_size >= image_size:
+            raise ValueError(f"patch_size {patch_size} invalid for {image_size}px images")
+        self.image_size = image_size
+        self.target_class = target_class
+        self.poison_fraction = poison_fraction
+        self.patch_size = patch_size
+
+    def apply(self, dataset: Dataset, rng: np.random.Generator) -> Dataset:
+        n_poison = max(int(len(dataset) * self.poison_fraction), 1)
+        poison_idx = rng.choice(len(dataset), size=n_poison, replace=False)
+        features = dataset.features.copy()
+        labels = dataset.labels.copy()
+        features[poison_idx] = apply_trigger(
+            features[poison_idx], self.image_size, self.patch_size
+        )
+        labels[poison_idx] = self.target_class
+        return Dataset(features, labels, num_classes=dataset.num_classes,
+                       image_size=dataset.image_size)
+
+
+def backdoor_success_rate(
+    model,
+    clean_dataset: Dataset,
+    attack: BackdoorAttack,
+) -> float:
+    """Fraction of triggered non-target samples predicted as the target.
+
+    Evaluates the backdoor on the *test* distribution: stamp the trigger on
+    every clean sample whose true label differs from the target class and
+    measure how often the model is fooled.
+    """
+    mask = clean_dataset.labels != attack.target_class
+    if not mask.any():
+        return float("nan")
+    triggered = apply_trigger(
+        clean_dataset.features[mask], attack.image_size, attack.patch_size
+    )
+    preds = model.predict(triggered)
+    return float(np.mean(preds == attack.target_class))

@@ -1,0 +1,47 @@
+"""Attack interfaces.
+
+Two families match the paper's taxonomy (Section I / IV-B):
+
+* :class:`ModelPoisoningAttack` manipulates the trained local update
+  vector ψ_j *after* honest local training (same-value, sign-flip,
+  additive noise);
+* :class:`DataPoisoningAttack` manipulates the client's local training
+  data *before* training (label flipping).
+
+Colluding attacks (paper TM-5; the additive-noise attackers "all agree on
+the same Gaussian noise") are expressed through shared state created once
+per attack instance and reused by every malicious client.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+
+__all__ = ["Attack", "ModelPoisoningAttack", "DataPoisoningAttack"]
+
+
+class Attack:
+    """Common base: a named adversarial behaviour installed on clients."""
+
+    name: str = "attack"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+class ModelPoisoningAttack(Attack):
+    """Transforms the flattened local model update before upload."""
+
+    def apply(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the poisoned update (must not mutate the input)."""
+        raise NotImplementedError
+
+
+class DataPoisoningAttack(Attack):
+    """Transforms the client's local dataset before local training."""
+
+    def apply(self, dataset: Dataset, rng: np.random.Generator) -> Dataset:
+        """Return the poisoned dataset (must not mutate the input)."""
+        raise NotImplementedError

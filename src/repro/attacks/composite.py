@@ -1,0 +1,64 @@
+"""Composite attacks: data- and model-poisoning on the same client.
+
+The canonical federated backdoor (Bagdasaryan et al.; cf. paper ref [10])
+is a *combination*: poison the local data with a trigger, then boost the
+trained update with the scaling/model-replacement attack so averaging
+installs the backdoor. :class:`CompositeAttack` wires any data-poisoning
+attack together with any model-poisoning attack so such combinations plug
+into the standard client pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import Attack, DataPoisoningAttack, ModelPoisoningAttack
+
+__all__ = ["CompositeAttack"]
+
+
+class CompositeAttack(DataPoisoningAttack, ModelPoisoningAttack):
+    """Chain one data-poisoning and one model-poisoning attack.
+
+    The client pipeline dispatches on isinstance checks, and this class is
+    *both*: its :meth:`apply` on a dataset delegates to the data stage and
+    on a weight vector to the model stage. ``bind_global`` and
+    ``poison_cvae_data`` hooks are forwarded when the underlying attacks
+    define them.
+    """
+
+    def __init__(self, data_attack: DataPoisoningAttack,
+                 model_attack: ModelPoisoningAttack) -> None:
+        if not isinstance(data_attack, DataPoisoningAttack):
+            raise TypeError(f"data_attack must be a DataPoisoningAttack, "
+                            f"got {type(data_attack).__name__}")
+        if not isinstance(model_attack, ModelPoisoningAttack):
+            raise TypeError(f"model_attack must be a ModelPoisoningAttack, "
+                            f"got {type(model_attack).__name__}")
+        self.data_attack = data_attack
+        self.model_attack = model_attack
+        self.name = f"{data_attack.name}+{model_attack.name}"
+
+    # -- dispatch -------------------------------------------------------------
+    def apply(self, target, rng: np.random.Generator):
+        """Dataset → data stage; weight vector → model stage."""
+        if isinstance(target, Dataset):
+            return self.data_attack.apply(target, rng)
+        return self.model_attack.apply(np.asarray(target), rng)
+
+    # -- forwarded hooks ---------------------------------------------------------
+    def bind_global(self, global_weights: np.ndarray) -> None:
+        bind = getattr(self.model_attack, "bind_global", None)
+        if bind is not None:
+            bind(global_weights)
+
+    def __getattr__(self, name: str):
+        # Forward optional protocol hooks (e.g. poison_cvae_data) to the
+        # stage that defines them; raise AttributeError otherwise so
+        # getattr(..., None) probes in the client keep working.
+        for stage in (self.__dict__.get("data_attack"),
+                      self.__dict__.get("model_attack")):
+            if stage is not None and hasattr(stage, name):
+                return getattr(stage, name)
+        raise AttributeError(name)

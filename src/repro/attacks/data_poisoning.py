@@ -1,0 +1,64 @@
+"""Data-poisoning attacks (paper Section IV-B).
+
+The paper's label-flipping attack is *targeted*: malicious clients swap the
+labels of two digit pairs (5↔7 and 4↔2) before local training, damaging a
+subset of classes while overall accuracy stays deceptively high — which is
+what makes the attack hard to detect.
+
+Because FedGuard clients also train their CVAE on local data, a
+label-flipping client's CVAE learns the flipped conditioning — its decoder
+produces 7-shaped images when asked for a 5. The client-side pipeline
+applies this attack before *both* trainings, reproducing that coupling
+(discussed in the paper's "limiting factors" section).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import DataPoisoningAttack
+
+__all__ = ["LabelFlippingAttack", "PAPER_FLIP_PAIRS"]
+
+# The digit pairs the paper flips: 5 <-> 7 and 4 <-> 2.
+PAPER_FLIP_PAIRS: tuple[tuple[int, int], ...] = ((5, 7), (4, 2))
+
+
+class LabelFlippingAttack(DataPoisoningAttack):
+    """Swap the labels of the configured class pairs.
+
+    ``pairs`` lists bidirectional swaps; the paper's configuration is the
+    default. A full-permutation variant (every label c → L-1-c, used by
+    some related work) can be expressed by passing all five pairs.
+    """
+
+    name = "label_flipping"
+
+    def __init__(self, pairs: tuple[tuple[int, int], ...] = PAPER_FLIP_PAIRS) -> None:
+        seen: set[int] = set()
+        for a, b in pairs:
+            if a == b:
+                raise ValueError(f"degenerate flip pair ({a}, {b})")
+            if a in seen or b in seen:
+                raise ValueError(f"class appears in multiple flip pairs: {pairs}")
+            seen.update((a, b))
+        self.pairs = tuple((int(a), int(b)) for a, b in pairs)
+
+    def flip_labels(self, labels: np.ndarray) -> np.ndarray:
+        """Return a flipped copy of an integer label array."""
+        flipped = np.asarray(labels).copy()
+        for a, b in self.pairs:
+            mask_a = labels == a
+            mask_b = labels == b
+            flipped[mask_a] = b
+            flipped[mask_b] = a
+        return flipped
+
+    def apply(self, dataset: Dataset, rng: np.random.Generator) -> Dataset:
+        return dataset.with_labels(self.flip_labels(dataset.labels))
+
+    @property
+    def affected_classes(self) -> tuple[int, ...]:
+        """All classes whose labels this attack corrupts."""
+        return tuple(sorted({c for pair in self.pairs for c in pair}))

@@ -1,0 +1,66 @@
+"""Decoder poisoning: attacking FedGuard's audit channel itself.
+
+Paper §VI-B ("Limiting factors"): *"If the decoders sent from malicious
+peers are trained with regard to a malicious objective (e.g., label
+flipping) and are in a majority position, the evaluation process at the
+server will be highly impacted and risks to fail in its defense."*
+
+:class:`DecoderPoisoningAttack` implements the purest form of that
+adversary: the client submits an **honest classifier update** (so update-
+space defenses see nothing wrong) but trains its CVAE on data with
+corrupted conditioning, so the decoder it uploads emits images whose
+claimed labels are wrong. Every synthetic sample it contributes to the
+round's validation set mislabels honest classifiers — poisoning the
+audit instead of the model.
+
+Label corruption modes:
+
+* ``"flip"`` — the paper's pairs (5↔7, 4↔2) — a targeted audit skew;
+* ``"shuffle"`` — a fixed random permutation of all labels — maximal
+  audit damage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import Attack
+from .data_poisoning import PAPER_FLIP_PAIRS, LabelFlippingAttack
+
+__all__ = ["DecoderPoisoningAttack"]
+
+
+class DecoderPoisoningAttack(Attack):
+    """Honest classifier, poisoned CVAE decoder.
+
+    Not a :class:`ModelPoisoningAttack` (the classifier update is honest)
+    nor a plain :class:`DataPoisoningAttack` (the classifier's training
+    data is honest): the corruption applies *only* to the dataset the CVAE
+    trains on. The client pipeline consults :meth:`poison_cvae_data`.
+    """
+
+    name = "decoder_poisoning"
+
+    def __init__(self, mode: str = "shuffle", seed: int = 99,
+                 pairs=PAPER_FLIP_PAIRS) -> None:
+        if mode not in ("flip", "shuffle"):
+            raise ValueError(f"unknown decoder-poisoning mode {mode!r}")
+        self.mode = mode
+        self.seed = seed
+        self.pairs = pairs
+
+    def poison_cvae_data(self, dataset: Dataset, rng: np.random.Generator) -> Dataset:
+        """Return the corrupted dataset the CVAE should be trained on."""
+        if self.mode == "flip":
+            return LabelFlippingAttack(self.pairs).apply(dataset, rng)
+        # "shuffle": a fixed derangement-ish permutation shared by all
+        # colluders (seeded independently of the client RNG).
+        perm_rng = np.random.default_rng(self.seed)
+        permutation = perm_rng.permutation(dataset.num_classes)
+        # ensure no class maps to itself so every conditioning is wrong
+        for cls in range(dataset.num_classes):
+            if permutation[cls] == cls:
+                other = (cls + 1) % dataset.num_classes
+                permutation[cls], permutation[other] = permutation[other], permutation[cls]
+        return dataset.with_labels(permutation[dataset.labels])

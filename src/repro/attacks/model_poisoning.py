@@ -1,0 +1,86 @@
+"""Model-poisoning attacks (paper Section IV-B).
+
+All three manipulate the flattened classifier update ψ_j after honest
+local training, exactly as the paper defines them:
+
+* same-value: ``w ← c · 1`` (paper uses c = 1);
+* sign flipping: ``w ← −w`` (norm-preserving, defeats norm thresholding);
+* additive noise: ``w ← w + ε`` with a Gaussian ε shared by all colluding
+  attackers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ModelPoisoningAttack
+
+__all__ = ["SameValueAttack", "SignFlippingAttack", "AdditiveNoiseAttack"]
+
+
+class SameValueAttack(ModelPoisoningAttack):
+    """Replace every coordinate of the update with the constant ``c``.
+
+    The paper's experiments use c = 1 ("setting all the weights of the
+    local model updates to 1").
+    """
+
+    name = "same_value"
+
+    def __init__(self, value: float = 1.0) -> None:
+        self.value = float(value)
+
+    def apply(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.full_like(weights, self.value)
+
+
+class SignFlippingAttack(ModelPoisoningAttack):
+    """Negate the update: ``w ← −1 · w``.
+
+    Keeps the update's magnitude distribution intact, which is precisely
+    why norm-threshold defenses (and, per the paper's results, Spectral's
+    surrogate reconstruction) struggle with it.
+    """
+
+    name = "sign_flipping"
+
+    def __init__(self, factor: float = -1.0) -> None:
+        if factor >= 0:
+            raise ValueError(f"sign-flip factor must be negative, got {factor}")
+        self.factor = float(factor)
+
+    def apply(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.factor * weights
+
+
+class AdditiveNoiseAttack(ModelPoisoningAttack):
+    """Add Gaussian noise: ``w ← w + ε``.
+
+    The paper's attackers collude: "malicious clients performing this
+    attack all agree on the same Gaussian noise". The shared ε is drawn
+    lazily on first use (when the update dimensionality is known) from a
+    dedicated generator seeded with ``collusion_seed``, so every malicious
+    client in a scenario adds the *identical* noise vector.
+    """
+
+    name = "additive_noise"
+
+    def __init__(self, sigma: float = 1.0, collusion_seed: int = 1234,
+                 colluding: bool = True) -> None:
+        if sigma <= 0:
+            raise ValueError(f"noise sigma must be positive, got {sigma}")
+        self.sigma = float(sigma)
+        self.collusion_seed = collusion_seed
+        self.colluding = colluding
+        self._shared_noise: np.ndarray | None = None
+
+    def _noise_for(self, dim: int, rng: np.random.Generator) -> np.ndarray:
+        if not self.colluding:
+            return rng.normal(0.0, self.sigma, size=dim)
+        if self._shared_noise is None or self._shared_noise.size != dim:
+            shared_rng = np.random.default_rng(self.collusion_seed)
+            self._shared_noise = shared_rng.normal(0.0, self.sigma, size=dim)
+        return self._shared_noise
+
+    def apply(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return weights + self._noise_for(weights.size, rng)

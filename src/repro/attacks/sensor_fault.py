@@ -1,0 +1,80 @@
+"""Defective-sensor data corruption (paper conclusion application).
+
+The paper closes by suggesting FedGuard's mechanism "could further be used
+in many other applications including detection of defective sensors in
+volatile environments". This module models such non-adversarial faults as
+a data-corruption "attack" (it plugs into the same client pipeline):
+
+* ``stuck``  — a block of pixels is frozen at a constant (stuck-at fault);
+* ``dead``   — a fraction of pixels reads zero permanently (dead cells);
+* ``noise``  — heavy sensor noise swamps the signal.
+
+A client with a faulty sensor trains an honest classifier and an honest
+CVAE — on garbage. Its classifier update underperforms on clean synthetic
+validation data, so FedGuard's audit flags it exactly like a poisoner,
+which is the detection mechanism the conclusion envisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import DataPoisoningAttack
+
+__all__ = ["SensorFaultAttack"]
+
+
+class SensorFaultAttack(DataPoisoningAttack):
+    """Corrupt a client's features as a faulty sensor would.
+
+    Parameters
+    ----------
+    mode:
+        ``"stuck"``, ``"dead"`` or ``"noise"``.
+    severity:
+        Fraction of pixels affected (stuck/dead) or the noise sigma
+        (noise mode).
+    image_size:
+        Needed for the stuck-block geometry; ``None`` treats features as
+        an unstructured vector (random pixel subset instead of a block).
+    """
+
+    name = "sensor_fault"
+
+    def __init__(
+        self,
+        mode: str = "noise",
+        severity: float = 0.5,
+        image_size: int | None = None,
+    ) -> None:
+        if mode not in ("stuck", "dead", "noise"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if severity <= 0:
+            raise ValueError(f"severity must be positive, got {severity}")
+        if mode in ("stuck", "dead") and severity > 1.0:
+            raise ValueError(f"{mode} severity is a pixel fraction in (0, 1]")
+        self.mode = mode
+        self.severity = severity
+        self.image_size = image_size
+
+    def apply(self, dataset: Dataset, rng: np.random.Generator) -> Dataset:
+        features = dataset.features.copy()
+        dim = features.shape[1]
+        if self.mode == "noise":
+            features = features + rng.normal(0.0, self.severity, size=features.shape)
+            features = np.clip(features, 0.0, 1.0)
+        else:
+            n_pixels = max(int(dim * self.severity), 1)
+            if self.image_size is not None and self.mode == "stuck":
+                # contiguous stuck block in the image top-left corner
+                side = max(int(np.sqrt(n_pixels)), 1)
+                mask = np.zeros((self.image_size, self.image_size), dtype=bool)
+                mask[:side, :side] = True
+                idx = np.flatnonzero(mask.ravel())
+            else:
+                idx = rng.choice(dim, size=n_pixels, replace=False)
+            features[:, idx] = 0.0 if self.mode == "dead" else 1.0
+        return Dataset(features, dataset.labels.copy(),
+                       num_classes=dataset.num_classes,
+                       image_size=dataset.image_size)

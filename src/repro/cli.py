@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the registered strategies and attack scenarios.
+``run``
+    Run one (strategy, scenario) federation and print/persist its history.
+``matrix``
+    Run a strategy × scenario matrix, persisting each cell.
+``table4`` / ``table5`` / ``fig4`` / ``fig5``
+    Regenerate the paper's tables/figures — from persisted results where
+    available (``--results DIR``), running the federations otherwise.
+
+Examples
+--------
+::
+
+    python -m repro run --strategy fedguard --scenario sign_flipping_50
+    python -m repro matrix --out results/ --rounds 10
+    python -m repro table4 --results results/
+    python -m repro table5
+    python -m repro fig5 --rounds 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .config import FederationConfig
+from .experiments import (
+    SCENARIO_FACTORIES,
+    STRATEGY_FACTORIES,
+    ascii_series,
+    fig4_series,
+    fig5_series,
+    paper_scenario_names,
+    paper_strategy_names,
+    run_cell,
+    run_matrix,
+    series_to_csv,
+    table4,
+    table5,
+    table5_analytic,
+)
+from .experiments.storage import load_matrix, save_history, save_manifest, save_matrix
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", choices=["scaled", "tiny"], default="scaled",
+                        help="base configuration: 'scaled' (default, minutes "
+                             "per run) or 'tiny' (seconds, for quick trials)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="federated rounds (default: config's)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="number of clients N")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--server-lr", type=float, default=None)
+
+
+def _config_from_args(args) -> FederationConfig:
+    overrides: dict = {"seed": args.seed}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.clients is not None:
+        overrides["n_clients"] = args.clients
+        overrides["clients_per_round"] = max(args.clients // 2, 2)
+        overrides["train_samples"] = args.clients * 240
+    if getattr(args, "server_lr", None) is not None:
+        overrides["server_lr"] = args.server_lr
+    base = (
+        FederationConfig.tiny
+        if getattr(args, "profile", "scaled") == "tiny"
+        else FederationConfig.paper_scaled
+    )
+    return base(**overrides)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FedGuard reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list strategies and scenarios")
+
+    run_p = sub.add_parser("run", help="run one federation")
+    run_p.add_argument("--strategy", required=True, choices=sorted(STRATEGY_FACTORIES))
+    run_p.add_argument("--scenario", required=True, choices=sorted(SCENARIO_FACTORIES))
+    run_p.add_argument("--save", type=pathlib.Path, default=None,
+                       help="write the history JSON here")
+    run_p.add_argument("--verbose", action="store_true")
+    _add_config_args(run_p)
+
+    matrix_p = sub.add_parser("matrix", help="run a strategy x scenario matrix")
+    matrix_p.add_argument("--strategies", nargs="*", default=None,
+                          help="default: the paper's five")
+    matrix_p.add_argument("--scenarios", nargs="*", default=None,
+                          help="default: the paper's five")
+    matrix_p.add_argument("--out", type=pathlib.Path, required=True)
+    _add_config_args(matrix_p)
+
+    t4_p = sub.add_parser("table4", help="reproduce Table IV")
+    t4_p.add_argument("--results", type=pathlib.Path, default=None,
+                      help="directory of persisted histories (else: run)")
+    _add_config_args(t4_p)
+
+    t5_p = sub.add_parser("table5", help="reproduce Table V (analytic + measured)")
+    t5_p.add_argument("--results", type=pathlib.Path, default=None)
+    _add_config_args(t5_p)
+
+    f4_p = sub.add_parser("fig4", help="reproduce Fig. 4 curves")
+    f4_p.add_argument("--results", type=pathlib.Path, default=None)
+    f4_p.add_argument("--csv-dir", type=pathlib.Path, default=None)
+    _add_config_args(f4_p)
+
+    f5_p = sub.add_parser("fig5", help="reproduce Fig. 5 (server lr ablation)")
+    f5_p.add_argument("--csv", type=pathlib.Path, default=None)
+    _add_config_args(f5_p)
+
+    return parser
+
+
+def _matrix_results(args):
+    if getattr(args, "results", None):
+        results = load_matrix(args.results)
+        if not results:
+            raise SystemExit(f"no persisted histories found in {args.results}")
+        return results
+    config = _config_from_args(args)
+    return run_matrix(config, paper_strategy_names(), paper_scenario_names(),
+                      verbose=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("strategies:")
+        for name in sorted(STRATEGY_FACTORIES):
+            marker = "*" if name in paper_strategy_names() else " "
+            print(f"  {marker} {name}")
+        print("scenarios:")
+        for name in sorted(SCENARIO_FACTORIES):
+            marker = "*" if name in paper_scenario_names() else " "
+            print(f"  {marker} {name}")
+        print("(* = in the paper's evaluation tables)")
+        return 0
+
+    if args.command == "run":
+        config = _config_from_args(args)
+        history = run_cell(config, args.strategy, args.scenario, verbose=args.verbose)
+        mean, std = history.tail_stats()
+        detection = history.detection_summary()
+        print(f"accuracies: {[round(a, 3) for a in history.accuracies]}")
+        print(f"tail accuracy: {mean:.2%} ± {std:.2%}")
+        print(f"detection: tpr={detection['tpr']:.2f} fpr={detection['fpr']:.2f}")
+        if args.save:
+            save_history(history, args.save)
+            print(f"history written to {args.save}")
+        return 0
+
+    if args.command == "matrix":
+        config = _config_from_args(args)
+        strategies = args.strategies or paper_strategy_names()
+        scenarios = args.scenarios or paper_scenario_names()
+        results = run_matrix(config, strategies, scenarios, verbose=True)
+        written = save_matrix(results, args.out)
+        save_manifest(config, args.out)
+        print(f"wrote {len(written)} histories (+ manifest.json) to {args.out}")
+        return 0
+
+    if args.command == "table4":
+        _, md = table4(_matrix_results(args))
+        print(md)
+        return 0
+
+    if args.command == "table5":
+        _, analytic_md = table5_analytic()
+        print("Analytic (paper scale, N=100/m=50, Table II/III models):\n")
+        print(analytic_md)
+        if getattr(args, "results", None):
+            try:
+                _, measured_md = table5(load_matrix(args.results))
+                print("\nMeasured (simulation scale):\n")
+                print(measured_md)
+            except KeyError as exc:
+                print(f"\n(measured table unavailable: {exc})")
+        return 0
+
+    if args.command == "fig4":
+        panels = fig4_series(_matrix_results(args))
+        for scenario, series in sorted(panels.items()):
+            print("\n" + ascii_series(series, title=f"Fig. 4: {scenario}"))
+            if args.csv_dir:
+                args.csv_dir.mkdir(parents=True, exist_ok=True)
+                (args.csv_dir / f"fig4_{scenario}.csv").write_text(series_to_csv(series))
+        return 0
+
+    if args.command == "fig5":
+        config = _config_from_args(args)
+        series = fig5_series(config)
+        print(ascii_series(series, title="Fig. 5: FedGuard server learning rate"))
+        if args.csv:
+            args.csv.parent.mkdir(parents=True, exist_ok=True)
+            args.csv.write_text(series_to_csv(series))
+        return 0
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Experiment configuration.
+
+:class:`FederationConfig` captures every knob of a federated run — the
+paper's Section IV setup is expressed by :meth:`FederationConfig.paper_full`
+(N=100, m=50, R=50, 28×28 images, Table II/III architectures) and a
+laptop-sized equivalent by :meth:`FederationConfig.paper_scaled`, which the
+tests and benchmarks use.
+
+Both config classes serialize to/from plain dicts (:meth:`to_dict` /
+:meth:`from_dict`) so persisted experiment results carry their exact
+provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+
+__all__ = ["ModelConfig", "FederationConfig"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture sizes for the classifier and the CVAE."""
+
+    kind: str = "cnn"  # "cnn" | "mlp"
+    image_size: int = 16
+    cnn_channels: tuple[int, int] = (8, 16)
+    cnn_hidden: int = 64
+    cnn_kernel: int = 5
+    mlp_hidden: int = 64
+    num_classes: int = 10
+    cvae_hidden: int = 96
+    cvae_latent: int = 8
+
+    @property
+    def input_dim(self) -> int:
+        return self.image_size * self.image_size
+
+    @staticmethod
+    def paper() -> "ModelConfig":
+        """The exact Table II / Table III sizes."""
+        return ModelConfig(
+            kind="cnn", image_size=28, cnn_channels=(32, 64), cnn_hidden=512,
+            cnn_kernel=5, num_classes=10, cvae_hidden=400, cvae_latent=20,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable)."""
+        data = asdict(self)
+        data["cnn_channels"] = list(self.cnn_channels)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "ModelConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(ModelConfig)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown ModelConfig keys: {sorted(unknown)}")
+        data = dict(data)
+        if "cnn_channels" in data:
+            data["cnn_channels"] = tuple(data["cnn_channels"])
+        return ModelConfig(**data)
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Full description of one federated experiment.
+
+    Defaults mirror the scaled configuration; use :meth:`paper_full` for
+    the exact Section IV values.
+    """
+
+    # federation topology (paper Section IV-A)
+    n_clients: int = 20
+    clients_per_round: int = 10
+    rounds: int = 15
+
+    # local training
+    local_epochs: int = 5
+    batch_size: int = 32
+    client_lr: float = 0.08
+    client_momentum: float = 0.9
+    client_optimizer: str = "sgd"  # "sgd" | "adam"
+    proximal_mu: float = 0.0       # >0 enables the FedProx proximal term
+
+    # CVAE training (FedGuard clients; paper: 30 epochs, trained once)
+    cvae_epochs: int = 60
+    cvae_lr: float = 1e-3
+    cvae_batch_size: int = 32
+
+    # FedGuard server-side synthesis: t = samples_per_client_factor * m
+    samples_per_client_factor: int = 2
+    server_lr: float = 1.0
+
+    # data
+    train_samples: int = 4800
+    test_samples: int = 400
+    partition_alpha: float = 10.0
+    partition_scheme: str = "dirichlet"
+
+    # dynamic datasets (future work §VI-C; 0 = the paper's static setting)
+    stream_samples_per_round: int = 0   # fresh samples per client per round
+    stream_window: int = 0              # max retained samples (0 = unbounded)
+    cvae_refresh_every: int = 0         # retrain the CVAE every k rounds (0 = once)
+
+    # models
+    model: ModelConfig = field(default_factory=ModelConfig)
+
+    # reproducibility
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients_per_round > self.n_clients:
+            raise ValueError(
+                f"clients_per_round ({self.clients_per_round}) exceeds "
+                f"n_clients ({self.n_clients})"
+            )
+        if not 0.0 < self.server_lr <= 1.0:
+            raise ValueError(f"server_lr must be in (0, 1], got {self.server_lr}")
+
+    @property
+    def t_samples(self) -> int:
+        """Synthetic validation samples per round (paper: t = 2·m = 100)."""
+        return self.samples_per_client_factor * self.clients_per_round
+
+    # -- canonical configurations ------------------------------------------
+    @staticmethod
+    def paper_full(seed: int = 0) -> "FederationConfig":
+        """The paper's exact Section IV setup.
+
+        100 clients, 50 per round, 50 rounds, 5 local epochs, CVAE trained
+        30 epochs, Dirichlet(10) partition of the full dataset, Table II/III
+        architectures. Running this takes hours on a CPU — it exists to
+        document the target configuration and for byte-exact Table V
+        accounting.
+        """
+        return FederationConfig(
+            n_clients=100, clients_per_round=50, rounds=50,
+            local_epochs=5, batch_size=32, client_lr=0.05,
+            cvae_epochs=30, samples_per_client_factor=2, server_lr=1.0,
+            train_samples=60_000, test_samples=10_000,
+            partition_alpha=10.0, model=ModelConfig.paper(), seed=seed,
+        )
+
+    @staticmethod
+    def paper_scaled(seed: int = 0, **overrides) -> "FederationConfig":
+        """Laptop-scale setup preserving the paper's ratios.
+
+        m/N = 1/2 (as in the paper), ~240 samples per client (paper: 600),
+        t = 2·m, Dirichlet α=10, 5 local epochs. 16×16 SynthMNIST with a
+        ~20 k-parameter CNN. CVAE epochs are raised to 60 so each client's
+        generator reaches the synthesis quality the paper's 30 epochs ×
+        600 MNIST samples provide (similar total step count).
+        """
+        cfg = FederationConfig(
+            n_clients=20, clients_per_round=10, rounds=15,
+            local_epochs=5, batch_size=32, client_lr=0.08,
+            cvae_epochs=60, samples_per_client_factor=2, server_lr=1.0,
+            train_samples=4800, test_samples=400,
+            partition_alpha=10.0, model=ModelConfig(), seed=seed,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    @staticmethod
+    def tiny(seed: int = 0, **overrides) -> "FederationConfig":
+        """Minimal configuration for unit tests (seconds, not minutes)."""
+        cfg = FederationConfig(
+            n_clients=6, clients_per_round=4, rounds=2,
+            local_epochs=1, batch_size=16, client_lr=0.05,
+            cvae_epochs=2, samples_per_client_factor=2, server_lr=1.0,
+            train_samples=240, test_samples=60,
+            partition_alpha=10.0,
+            model=ModelConfig(kind="mlp", image_size=8, mlp_hidden=32,
+                              cvae_hidden=24, cvae_latent=4),
+            seed=seed,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def replace(self, **overrides) -> "FederationConfig":
+        """Functional update returning a new config."""
+        return replace(self, **overrides)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable), model config nested."""
+        data = asdict(self)
+        data["model"] = self.model.to_dict()
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "FederationConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(FederationConfig)}
+        unknown = set(data) - known
+        if unknown:
+            raise KeyError(f"unknown FederationConfig keys: {sorted(unknown)}")
+        data = dict(data)
+        if "model" in data and isinstance(data["model"], dict):
+            data["model"] = ModelConfig.from_dict(data["model"])
+        return FederationConfig(**data)

@@ -1,0 +1,35 @@
+"""Data substrate: SynthMNIST generation, dataset containers, partitioning."""
+
+from .dataset import Dataset
+from .glyphs import DIGIT_GLYPHS, NUM_CLASSES, glyph_array
+from .mnist_idx import load_mnist, read_idx, write_idx
+from .partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+    pathological_partition,
+)
+from .synthetic_mnist import (
+    SynthMnistConfig,
+    generate_dataset,
+    generate_split,
+    render_digit,
+)
+
+__all__ = [
+    "Dataset",
+    "DIGIT_GLYPHS",
+    "NUM_CLASSES",
+    "glyph_array",
+    "SynthMnistConfig",
+    "render_digit",
+    "generate_dataset",
+    "generate_split",
+    "dirichlet_partition",
+    "iid_partition",
+    "pathological_partition",
+    "partition_dataset",
+    "load_mnist",
+    "read_idx",
+    "write_idx",
+]

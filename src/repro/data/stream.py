@@ -1,0 +1,83 @@
+"""Client data streams for the dynamic-dataset setting (paper §VI-C).
+
+The paper evaluates FedGuard with static partitions and names streaming
+clients — devices that keep receiving fresh data — as future work,
+together with the question of how often the local CVAE should be
+retrained. :class:`SynthMnistStream` supplies that setting: an endless,
+seeded source of fresh SynthMNIST samples with a configurable class
+distribution per client (so heterogeneity can persist or drift over time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .glyphs import NUM_CLASSES
+from .synthetic_mnist import SynthMnistConfig, render_digit
+
+__all__ = ["DataStream", "SynthMnistStream"]
+
+
+class DataStream:
+    """Interface: an endless source of labeled samples for one client."""
+
+    def next_batch(self, n: int) -> Dataset:
+        raise NotImplementedError
+
+
+class SynthMnistStream(DataStream):
+    """Deterministic per-client stream of fresh SynthMNIST samples.
+
+    Parameters
+    ----------
+    rng:
+        The stream's private generator (derived from the federation seed).
+    config:
+        Rendering configuration; must match the federation's image size.
+    class_probs:
+        Per-client class distribution. Defaults to uniform; pass a skewed
+        vector to emulate a client whose sensor only sees a few classes.
+    drift_per_batch:
+        If nonzero, the class distribution is re-mixed toward uniform by
+        this factor after every batch — a simple concept-drift model.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        config: SynthMnistConfig | None = None,
+        class_probs: np.ndarray | None = None,
+        drift_per_batch: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drift_per_batch <= 1.0:
+            raise ValueError(f"drift_per_batch must be in [0, 1], got {drift_per_batch}")
+        self.rng = rng
+        self.config = config if config is not None else SynthMnistConfig()
+        if class_probs is None:
+            self.class_probs = np.full(NUM_CLASSES, 1.0 / NUM_CLASSES)
+        else:
+            probs = np.asarray(class_probs, dtype=np.float64)
+            if probs.shape != (NUM_CLASSES,) or not np.isclose(probs.sum(), 1.0):
+                raise ValueError("class_probs must be 10 values summing to 1")
+            self.class_probs = probs
+        self.drift_per_batch = drift_per_batch
+        self.batches_drawn = 0
+
+    def next_batch(self, n: int) -> Dataset:
+        if n <= 0:
+            raise ValueError(f"batch size must be positive, got {n}")
+        labels = self.rng.choice(NUM_CLASSES, size=n, p=self.class_probs)
+        dim = self.config.image_size ** 2
+        features = np.empty((n, dim), dtype=np.float64)
+        for i, label in enumerate(labels):
+            features[i] = render_digit(int(label), self.rng, self.config)
+        self.batches_drawn += 1
+        if self.drift_per_batch > 0.0:
+            uniform = np.full(NUM_CLASSES, 1.0 / NUM_CLASSES)
+            self.class_probs = (
+                (1.0 - self.drift_per_batch) * self.class_probs
+                + self.drift_per_batch * uniform
+            )
+        return Dataset(features, labels.astype(np.int64), num_classes=NUM_CLASSES,
+                       image_size=self.config.image_size)

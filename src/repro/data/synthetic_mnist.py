@@ -1,0 +1,172 @@
+"""SynthMNIST: a procedurally generated, offline stand-in for MNIST.
+
+The reproduction environment has no network access, so the real MNIST
+dataset cannot be downloaded. SynthMNIST renders the 5×7 digit glyphs of
+:mod:`repro.data.glyphs` onto a square canvas and perturbs each sample with
+
+* a random affine transform (rotation, anisotropic scale, shear,
+  translation),
+* a random Gaussian stroke blur (stroke-thickness variation),
+* additive pixel noise,
+
+yielding a 10-class grayscale image classification problem with genuine
+intra-class variation. It exercises exactly the code paths the paper's
+MNIST task exercises: CNN classification, Dirichlet non-IID partitioning,
+CVAE class-conditional synthesis, and the label-flip attack's target pairs.
+
+Generation is deterministic given the :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from .dataset import Dataset
+from .glyphs import DIGIT_GLYPHS, NUM_CLASSES
+
+__all__ = ["SynthMnistConfig", "render_digit", "generate_dataset", "generate_split"]
+
+
+@dataclass(frozen=True)
+class SynthMnistConfig:
+    """Knobs of the SynthMNIST generator.
+
+    Defaults are tuned so that a small CNN reaches high (>95 %) clean
+    accuracy after a few epochs while an untrained model sits at 10 % —
+    the regime the paper's accuracy curves live in.
+    """
+
+    image_size: int = 16
+    rotation_deg: float = 12.0
+    scale_range: tuple[float, float] = (0.85, 1.1)
+    shear: float = 0.08
+    translate_frac: float = 0.08
+    blur_sigma_range: tuple[float, float] = (0.5, 0.9)
+    noise_sigma: float = 0.08
+    class_probs: tuple[float, ...] | None = None  # None = uniform
+
+    def probabilities(self) -> np.ndarray:
+        if self.class_probs is None:
+            return np.full(NUM_CLASSES, 1.0 / NUM_CLASSES)
+        probs = np.asarray(self.class_probs, dtype=np.float64)
+        if probs.shape != (NUM_CLASSES,) or not np.isclose(probs.sum(), 1.0):
+            raise ValueError("class_probs must be 10 values summing to 1")
+        return probs
+
+
+def _base_canvas(digit: int, image_size: int) -> np.ndarray:
+    """Upscale a glyph to ~70 % of the canvas and center it."""
+    glyph = DIGIT_GLYPHS[digit]
+    target_h = max(int(round(image_size * 0.7)), 7)
+    zoom_h = target_h / glyph.shape[0]
+    zoom_w = zoom_h  # preserve aspect ratio of the stroke grid
+    scaled = ndimage.zoom(glyph, (zoom_h, zoom_w), order=1, prefilter=False)
+    scaled = np.clip(scaled, 0.0, 1.0)
+    canvas = np.zeros((image_size, image_size), dtype=np.float64)
+    off_h = (image_size - scaled.shape[0]) // 2
+    off_w = (image_size - scaled.shape[1]) // 2
+    h = min(scaled.shape[0], image_size - off_h)
+    w = min(scaled.shape[1], image_size - off_w)
+    canvas[off_h : off_h + h, off_w : off_w + w] = scaled[:h, :w]
+    return canvas
+
+
+# Cache of base canvases keyed by (digit, image_size); rendering thousands
+# of samples re-uses these instead of re-zooming the glyph every time.
+_CANVAS_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _cached_canvas(digit: int, image_size: int) -> np.ndarray:
+    key = (digit, image_size)
+    canvas = _CANVAS_CACHE.get(key)
+    if canvas is None:
+        canvas = _base_canvas(digit, image_size)
+        _CANVAS_CACHE[key] = canvas
+    return canvas
+
+
+def render_digit(
+    digit: int,
+    rng: np.random.Generator,
+    config: SynthMnistConfig | None = None,
+) -> np.ndarray:
+    """Render one randomized sample of ``digit``.
+
+    Returns a flattened (image_size²,) float array in [0, 1].
+    """
+    cfg = config if config is not None else SynthMnistConfig()
+    size = cfg.image_size
+    canvas = _cached_canvas(digit, size)
+
+    # Random affine about the canvas center: rotation, scale, shear, shift.
+    theta = np.deg2rad(rng.uniform(-cfg.rotation_deg, cfg.rotation_deg))
+    sx = rng.uniform(*cfg.scale_range)
+    sy = rng.uniform(*cfg.scale_range)
+    shear = rng.uniform(-cfg.shear, cfg.shear)
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    # forward transform = rotation @ shear @ scale
+    fwd = np.array(
+        [
+            [cos_t * sx, (-sin_t + cos_t * shear) * sy],
+            [sin_t * sx, (cos_t + sin_t * shear) * sy],
+        ]
+    )
+    inv = np.linalg.inv(fwd)
+    center = (size - 1) / 2.0
+    shift = rng.uniform(-cfg.translate_frac, cfg.translate_frac, size=2) * size
+    offset = np.array([center, center]) - inv @ (np.array([center, center]) + shift)
+    img = ndimage.affine_transform(canvas, inv, offset=offset, order=1, mode="constant")
+
+    # Stroke-thickness variation: blur then renormalize.
+    sigma = rng.uniform(*cfg.blur_sigma_range)
+    img = ndimage.gaussian_filter(img, sigma=sigma)
+    peak = img.max()
+    if peak > 1e-8:
+        img = img / peak
+
+    # Sensor-style additive noise.
+    if cfg.noise_sigma > 0:
+        img = img + rng.normal(0.0, cfg.noise_sigma, size=img.shape)
+    return np.clip(img, 0.0, 1.0).ravel()
+
+
+def generate_dataset(
+    n_samples: int,
+    rng: np.random.Generator,
+    config: SynthMnistConfig | None = None,
+) -> Dataset:
+    """Generate ``n_samples`` labeled SynthMNIST images.
+
+    Labels are drawn from the config's class distribution (uniform by
+    default, matching MNIST's near-balance).
+    """
+    cfg = config if config is not None else SynthMnistConfig()
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    labels = rng.choice(NUM_CLASSES, size=n_samples, p=cfg.probabilities())
+    dim = cfg.image_size * cfg.image_size
+    features = np.empty((n_samples, dim), dtype=np.float64)
+    for i, label in enumerate(labels):
+        features[i] = render_digit(int(label), rng, cfg)
+    return Dataset(features, labels.astype(np.int64), num_classes=NUM_CLASSES,
+                   image_size=cfg.image_size)
+
+
+def generate_split(
+    n_train: int,
+    n_test: int,
+    seed: int,
+    config: SynthMnistConfig | None = None,
+) -> tuple[Dataset, Dataset]:
+    """Deterministic train/test pair from a single seed.
+
+    Train and test are generated from independent sub-streams of the seed
+    so they are disjoint draws from the same distribution.
+    """
+    root = np.random.default_rng(seed)
+    train_rng, test_rng = root.spawn(2)
+    cfg = config if config is not None else SynthMnistConfig()
+    return generate_dataset(n_train, train_rng, cfg), generate_dataset(n_test, test_rng, cfg)

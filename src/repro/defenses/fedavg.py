@@ -1,0 +1,33 @@
+"""FedAvg (McMahan et al. 2016) — the undefended baseline.
+
+Sample-count-weighted averaging of all submitted updates. Included in
+every figure/table of the paper as the "no defense" reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
+from ..fl.updates import ClientUpdate
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(Strategy):
+    """Weighted arithmetic mean of all client updates — no filtering."""
+
+    name = "fedavg"
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        return AggregationResult(
+            weights=weighted_average(updates),
+            accepted_ids=[u.client_id for u in updates],
+            rejected_ids=[],
+        )

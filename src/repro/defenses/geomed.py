@@ -1,0 +1,79 @@
+"""GeoMed: geometric-median aggregation (Chen, Su & Xu 2018).
+
+Replaces FedAvg's arithmetic mean with the geometric median of the update
+vectors — the point minimizing the sum of Euclidean distances to all
+updates. Robust to a minority of arbitrarily-placed outliers, but (as the
+paper's 50 %-malicious scenarios show) defeated once coordinated attackers
+reach parity.
+
+The geometric median is computed with Weiszfeld's algorithm, fully
+vectorized over the (clients × dims) update matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.strategy import AggregationResult, ServerContext, Strategy
+from ..fl.updates import ClientUpdate
+
+__all__ = ["GeoMed", "geometric_median"]
+
+
+def geometric_median(
+    points: np.ndarray,
+    weights: np.ndarray | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+) -> np.ndarray:
+    """Weighted geometric median of the rows of ``points`` (Weiszfeld).
+
+    Handles the classic degeneracy: if an iterate lands exactly on a data
+    point, that point's infinite weight is capped via an epsilon floor on
+    distances.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if n == 1:
+        return points[0].copy()
+    w = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,) or (w < 0).any() or w.sum() == 0:
+        raise ValueError("weights must be non-negative with positive sum")
+
+    estimate = (w / w.sum()) @ points  # start from the weighted mean
+    for _ in range(max_iter):
+        diffs = points - estimate
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        dists = np.maximum(dists, 1e-12)
+        inv = w / dists
+        new_estimate = (inv / inv.sum()) @ points
+        shift = np.linalg.norm(new_estimate - estimate)
+        estimate = new_estimate
+        if shift < tol * (1.0 + np.linalg.norm(estimate)):
+            break
+    return estimate
+
+
+class GeoMed(Strategy):
+    """Geometric-median aggregation of client updates."""
+
+    name = "geomed"
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-7) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        matrix = np.stack([u.weights for u in updates])
+        median = geometric_median(matrix, max_iter=self.max_iter, tol=self.tol)
+        return AggregationResult(
+            weights=median,
+            accepted_ids=[u.client_id for u in updates],
+            rejected_ids=[],
+        )

@@ -1,0 +1,92 @@
+"""Krum and Multi-Krum (Blanchard et al. 2017).
+
+Krum scores each update by the sum of squared distances to its n − f − 2
+nearest neighbours and selects the single best-scoring update as the new
+global model; Multi-Krum averages the ``multi`` best. Benign updates chase
+the same objective and cluster together, so an isolated outlier scores
+badly — but a colluding majority forms its own tight cluster and wins,
+which is exactly the failure mode the paper's 50 %-malicious scenarios
+demonstrate.
+
+Pairwise distances are computed with the ‖a‖² + ‖b‖² − 2a·b expansion:
+one GEMM on the (clients × dims) matrix instead of an O(n²) Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.strategy import AggregationResult, ServerContext, Strategy
+from ..fl.updates import ClientUpdate
+
+__all__ = ["Krum", "krum_scores", "pairwise_sq_dists"]
+
+
+def pairwise_sq_dists(matrix: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix between the rows of ``matrix``."""
+    sq_norms = np.einsum("ij,ij->i", matrix, matrix)
+    with np.errstate(invalid="ignore", over="ignore"):
+        d = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (matrix @ matrix.T)
+    # Clamp tiny negatives from floating-point cancellation, and map the
+    # inf-inf NaNs that extreme poisoned updates produce (norms² overflow)
+    # to +inf — "infinitely far" is the right semantics for scoring.
+    d = np.nan_to_num(d, nan=np.inf, posinf=np.inf)
+    np.maximum(d, 0.0, out=d)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def krum_scores(matrix: np.ndarray, n_byzantine: int) -> np.ndarray:
+    """Krum score per row: sum of sq-distances to the n − f − 2 closest others."""
+    n = matrix.shape[0]
+    n_neighbors = n - n_byzantine - 2
+    if n_neighbors < 1:
+        n_neighbors = 1  # degenerate small-n case: closest single neighbour
+    dists = pairwise_sq_dists(matrix)
+    np.fill_diagonal(dists, np.inf)  # a row is not its own neighbour
+    nearest = np.partition(dists, n_neighbors - 1, axis=1)[:, :n_neighbors]
+    return nearest.sum(axis=1)
+
+
+class Krum(Strategy):
+    """Select the update(s) closest to their peers.
+
+    Parameters
+    ----------
+    n_byzantine:
+        Assumed number of malicious submissions f. ``None`` uses the
+        conservative default f = ⌊(n−3)/2⌋ (the largest f Krum tolerates).
+    multi:
+        1 for classic Krum (paper baseline); >1 averages the best ``multi``
+        updates (Multi-Krum).
+    """
+
+    name = "krum"
+
+    def __init__(self, n_byzantine: int | None = None, multi: int = 1) -> None:
+        if multi < 1:
+            raise ValueError(f"multi must be >= 1, got {multi}")
+        self.n_byzantine = n_byzantine
+        self.multi = multi
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        matrix = np.stack([u.weights for u in updates])
+        n = matrix.shape[0]
+        f = self.n_byzantine if self.n_byzantine is not None else max((n - 3) // 2, 0)
+        scores = krum_scores(matrix, f)
+        k = min(self.multi, n)
+        chosen = np.argsort(scores)[:k]
+        accepted = [updates[i].client_id for i in chosen]
+        rejected = [u.client_id for u in updates if u.client_id not in set(accepted)]
+        return AggregationResult(
+            weights=matrix[chosen].mean(axis=0),
+            accepted_ids=accepted,
+            rejected_ids=rejected,
+            metrics={"krum_best_score": float(scores[chosen[0]])},
+        )

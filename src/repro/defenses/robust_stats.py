@@ -1,0 +1,113 @@
+"""Additional robust-aggregation baselines from the paper's related work.
+
+These are not in the paper's evaluation tables but are cited as the
+"robust aggregation" family (Section II): coordinate-wise median and
+trimmed mean (Yin et al. 2018) and norm thresholding (Sun et al. 2019).
+They extend the benchmark matrix and the ablation suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
+from ..fl.updates import ClientUpdate
+
+__all__ = ["CoordinateMedian", "TrimmedMean", "NormThresholding"]
+
+
+class CoordinateMedian(Strategy):
+    """Coordinate-wise median of the update vectors."""
+
+    name = "coord_median"
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        matrix = np.stack([u.weights for u in updates])
+        return AggregationResult(
+            weights=np.median(matrix, axis=0),
+            accepted_ids=[u.client_id for u in updates],
+            rejected_ids=[],
+        )
+
+
+class TrimmedMean(Strategy):
+    """Coordinate-wise mean after trimming the β extreme values per side.
+
+    ``trim_fraction`` is β/n; Yin et al. prove optimal rates for
+    β ≥ the number of Byzantine clients.
+    """
+
+    name = "trimmed_mean"
+
+    def __init__(self, trim_fraction: float = 0.2) -> None:
+        if not 0.0 <= trim_fraction < 0.5:
+            raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+        self.trim_fraction = trim_fraction
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        matrix = np.stack([u.weights for u in updates])
+        n = matrix.shape[0]
+        k = int(n * self.trim_fraction)
+        if k == 0 or n - 2 * k < 1:
+            agg = matrix.mean(axis=0)
+        else:
+            ordered = np.sort(matrix, axis=0)
+            agg = ordered[k : n - k].mean(axis=0)
+        return AggregationResult(
+            weights=agg,
+            accepted_ids=[u.client_id for u in updates],
+            rejected_ids=[],
+        )
+
+
+class NormThresholding(Strategy):
+    """Clip each update's norm to M before averaging (Sun et al. 2019).
+
+    ``threshold=None`` uses the median update norm of the round as M.
+    The paper singles this family out as defeated by sign flipping —
+    a sign-flipped update has an *unchanged* norm, so clipping never
+    touches it.
+    """
+
+    name = "norm_threshold"
+
+    def __init__(self, threshold: float | None = None) -> None:
+        if threshold is not None and threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        matrix = np.stack([u.weights for u in updates])
+        deltas = matrix - global_weights
+        norms = np.linalg.norm(deltas, axis=1)
+        m = self.threshold if self.threshold is not None else float(np.median(norms))
+        scale = np.minimum(1.0, m / np.maximum(norms, 1e-12))
+        clipped = global_weights + deltas * scale[:, None]
+        clipped_updates = [
+            ClientUpdate(u.client_id, row, u.num_samples, malicious=u.malicious)
+            for u, row in zip(updates, clipped)
+        ]
+        return AggregationResult(
+            weights=weighted_average(clipped_updates),
+            accepted_ids=[u.client_id for u in updates],
+            rejected_ids=[],
+            metrics={"norm_threshold": m},
+        )

@@ -1,0 +1,51 @@
+"""Experiment harness: scenario registry, matrix runner, tables and figures."""
+
+from .detection import DetectionReport, auc, detection_report, roc_curve
+from .figures import fig4_series, fig5_series
+from .replication import ReplicationResult, replicate_cell
+from .reporting import ascii_series, markdown_table, series_to_csv
+from .runner import ResultMatrix, run_cell, run_matrix
+from .update_geometry import RoundGeometry, cosine_matrix, round_geometry
+from .visualize import ascii_digit, ascii_digit_grid, preview_decoder
+from .scenarios import (
+    SCENARIO_FACTORIES,
+    STRATEGY_FACTORIES,
+    make_scenario,
+    make_strategy,
+    paper_scenario_names,
+    paper_strategy_names,
+)
+from .tables import CommBudget, table4, table5, table5_analytic
+
+__all__ = [
+    "run_cell",
+    "run_matrix",
+    "ResultMatrix",
+    "make_strategy",
+    "make_scenario",
+    "STRATEGY_FACTORIES",
+    "SCENARIO_FACTORIES",
+    "paper_strategy_names",
+    "paper_scenario_names",
+    "table4",
+    "table5",
+    "table5_analytic",
+    "CommBudget",
+    "fig4_series",
+    "fig5_series",
+    "markdown_table",
+    "ascii_series",
+    "series_to_csv",
+    "roc_curve",
+    "auc",
+    "DetectionReport",
+    "detection_report",
+    "ReplicationResult",
+    "replicate_cell",
+    "cosine_matrix",
+    "round_geometry",
+    "RoundGeometry",
+    "ascii_digit",
+    "ascii_digit_grid",
+    "preview_decoder",
+]

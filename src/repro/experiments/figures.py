@@ -1,0 +1,52 @@
+"""Reproduction of the paper's Fig. 4 and Fig. 5 accuracy curves.
+
+* :func:`fig4_series` — accuracy-vs-round per strategy, one panel per
+  attack scenario (the 6-strategy × 5-scenario grid of Fig. 4).
+* :func:`fig5_series` — FedGuard under 40 % label flipping with server
+  learning rate 1.0 vs 0.3 (the stability ablation of Fig. 5).
+
+Series are returned as plain ``{name: ndarray}`` dictionaries and can be
+rendered with :func:`repro.experiments.reporting.ascii_series` or dumped
+with :func:`repro.experiments.reporting.series_to_csv`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks import AttackScenario
+from ..config import FederationConfig
+from ..defenses import FedGuard
+from ..fl.simulation import run_federation
+from .runner import ResultMatrix
+
+__all__ = ["fig4_series", "fig5_series"]
+
+
+def fig4_series(results: ResultMatrix) -> dict[str, dict[str, np.ndarray]]:
+    """Group a result matrix into Fig.-4 panels: {scenario: {strategy: curve}}."""
+    panels: dict[str, dict[str, np.ndarray]] = {}
+    for (strategy, scenario), history in results.items():
+        panels.setdefault(scenario, {})[strategy] = history.accuracies
+    return panels
+
+
+def fig5_series(
+    config: FederationConfig,
+    server_lrs: tuple[float, ...] = (1.0, 0.3),
+    malicious_fraction: float = 0.4,
+) -> dict[str, np.ndarray]:
+    """FedGuard stability vs server learning rate (Fig. 5).
+
+    Runs FedGuard under the paper's 40 %-label-flipping stress scenario
+    once per server learning rate; all runs share the same seed and thus
+    the same federation, so differences are attributable to η_s alone.
+    """
+    series: dict[str, np.ndarray] = {}
+    for lr in server_lrs:
+        scenario = AttackScenario.label_flipping(malicious_fraction)
+        history = run_federation(
+            config.replace(server_lr=lr), FedGuard(), scenario
+        )
+        series[f"fedguard-lr-{lr:g}"] = history.accuracies
+    return series

@@ -1,0 +1,80 @@
+"""Text rendering of reproduced tables and figures.
+
+Everything renders to plain text / markdown / CSV so results are readable
+in a terminal and diffable in version control — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["markdown_table", "ascii_series", "series_to_csv"]
+
+
+def markdown_table(
+    headers: list[str], rows: list[list[str]], align_first_left: bool = True
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    widths = [
+        max(len(str(headers[c])), *(len(str(r[c])) for r in rows)) if rows else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+
+    def fmt_row(cells) -> str:
+        return "| " + " | ".join(str(c).ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "|" + "|".join(
+        (":" if align_first_left and i == 0 else "-") + "-" * w + "-"
+        for i, w in enumerate(widths)
+    ) + "|"
+    return "\n".join([fmt_row(headers), sep] + [fmt_row(r) for r in rows])
+
+
+def ascii_series(
+    series: dict[str, np.ndarray],
+    height: int = 12,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    title: str = "",
+) -> str:
+    """Plot several named accuracy-vs-round series as ASCII art.
+
+    Each series gets a single marker character; collisions show the later
+    series. Good enough to see the Fig. 4/5 shapes in a terminal.
+    """
+    if not series:
+        return "(empty plot)"
+    markers = "ox+*#@%&$~"
+    length = max(len(v) for v in series.values())
+    grid = [[" "] * length for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for x, y in enumerate(np.asarray(values)):
+            frac = (float(y) - y_min) / (y_max - y_min) if y_max > y_min else 0.0
+            row = height - 1 - int(np.clip(frac, 0.0, 1.0) * (height - 1))
+            grid[row][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        level = y_max - i * (y_max - y_min) / (height - 1)
+        lines.append(f"{level:5.2f} |" + "".join(row))
+    lines.append("      +" + "-" * length + "  (round)")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(series: dict[str, np.ndarray]) -> str:
+    """Serialize named per-round series to CSV (round index first column)."""
+    names = list(series)
+    length = max(len(v) for v in series.values())
+    lines = ["round," + ",".join(names)]
+    for r in range(length):
+        cells = [str(r + 1)]
+        for name in names:
+            values = series[name]
+            cells.append(f"{values[r]:.6f}" if r < len(values) else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines)

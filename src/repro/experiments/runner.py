@@ -1,0 +1,57 @@
+"""Run strategy × scenario experiment matrices.
+
+The harness behind every reproduced table/figure: it executes a list of
+(strategy, scenario) cells on a shared :class:`FederationConfig` and
+returns the resulting :class:`~repro.fl.history.History` objects keyed by
+``(strategy_name, scenario_name)``.
+
+Every cell is built from the same config/seed, so all strategies see the
+identical data partition, identical malicious-client designation, and an
+identically seeded server — the controlled comparison Fig. 4 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..config import FederationConfig
+from ..fl.history import History
+from ..fl.simulation import run_federation
+from .scenarios import make_scenario, make_strategy
+
+__all__ = ["run_cell", "run_matrix", "ResultMatrix"]
+
+ResultMatrix = dict[tuple[str, str], History]
+
+
+def run_cell(
+    config: FederationConfig,
+    strategy_name: str,
+    scenario_name: str,
+    verbose: bool = False,
+) -> History:
+    """Run a single (strategy, scenario) experiment."""
+    return run_federation(
+        config,
+        make_strategy(strategy_name),
+        make_scenario(scenario_name),
+        verbose=verbose,
+    )
+
+
+def run_matrix(
+    config: FederationConfig,
+    strategy_names: Iterable[str],
+    scenario_names: Iterable[str],
+    verbose: bool = False,
+) -> ResultMatrix:
+    """Run the full cross product; returns {(strategy, scenario): History}."""
+    results: ResultMatrix = {}
+    for scenario_name in scenario_names:
+        for strategy_name in strategy_names:
+            if verbose:
+                print(f"== running {strategy_name} / {scenario_name}")
+            results[(strategy_name, scenario_name)] = run_cell(
+                config, strategy_name, scenario_name, verbose=verbose
+            )
+    return results

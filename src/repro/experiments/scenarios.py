@@ -1,0 +1,94 @@
+"""Named registries of the paper's evaluation scenarios and strategies.
+
+Keys follow the paper's tables: strategies {fedavg, geomed, krum, spectral,
+fedguard}; scenarios {additive_noise_50, label_flipping_30, sign_flipping_50,
+same_value_50, no_attack} (Fig. 4 / Table IV) plus label_flipping_40
+(Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..attacks import AttackScenario, no_attack
+from ..defenses import (
+    PDGAN,
+    Bulyan,
+    CoordinateMedian,
+    FedAvg,
+    FedCVAE,
+    FedGuard,
+    GeoMed,
+    Krum,
+    NormThresholding,
+    Spectral,
+    TrimmedMean,
+)
+from ..fl.strategy import Strategy
+
+__all__ = [
+    "STRATEGY_FACTORIES",
+    "SCENARIO_FACTORIES",
+    "make_strategy",
+    "make_scenario",
+    "paper_scenario_names",
+    "paper_strategy_names",
+]
+
+STRATEGY_FACTORIES: dict[str, Callable[[], Strategy]] = {
+    # the paper's evaluation-table strategies
+    "fedavg": FedAvg,
+    "geomed": GeoMed,
+    "krum": Krum,
+    "spectral": Spectral,
+    "fedguard": FedGuard,
+    # extended baselines (related work / future work)
+    "coord_median": CoordinateMedian,
+    "trimmed_mean": TrimmedMean,
+    "norm_threshold": NormThresholding,
+    "bulyan": Bulyan,
+    "pdgan": PDGAN,
+    "fedcvae": FedCVAE,
+    "fedguard_class_aware": lambda: FedGuard(class_aware=True),
+    "multi_krum": lambda: Krum(multi=3),
+}
+
+SCENARIO_FACTORIES: dict[str, Callable[[], AttackScenario]] = {
+    "no_attack": no_attack,
+    "additive_noise_50": lambda: AttackScenario.additive_noise(0.5),
+    "label_flipping_30": lambda: AttackScenario.label_flipping(0.3),
+    "label_flipping_40": lambda: AttackScenario.label_flipping(0.4),
+    "sign_flipping_50": lambda: AttackScenario.sign_flipping(0.5),
+    "same_value_50": lambda: AttackScenario.same_value(0.5),
+}
+
+
+def make_strategy(name: str) -> Strategy:
+    """Fresh strategy instance by table name."""
+    try:
+        return STRATEGY_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; known: {sorted(STRATEGY_FACTORIES)}"
+        ) from None
+
+
+def make_scenario(name: str) -> AttackScenario:
+    """Fresh attack scenario by table name."""
+    try:
+        return SCENARIO_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIO_FACTORIES)}"
+        ) from None
+
+
+def paper_strategy_names() -> list[str]:
+    """Row order of Table IV."""
+    return ["fedavg", "geomed", "krum", "spectral", "fedguard"]
+
+
+def paper_scenario_names() -> list[str]:
+    """Column order of Table IV (the no-attack reference row last)."""
+    return ["additive_noise_50", "label_flipping_30", "sign_flipping_50",
+            "same_value_50", "no_attack"]

@@ -1,0 +1,134 @@
+"""History persistence: save and reload experiment results as JSON.
+
+Long experiment matrices are expensive; persisting each cell's
+:class:`~repro.fl.history.History` lets the CLI and notebooks regenerate
+tables/figures without re-running federations, and makes results diffable
+artifacts in version control.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..fl.history import History, RoundRecord
+
+__all__ = ["history_to_dict", "history_from_dict", "save_history", "load_history",
+           "save_matrix", "load_matrix", "save_manifest", "load_manifest"]
+
+FORMAT_VERSION = 1
+
+
+def history_to_dict(history: History) -> dict:
+    """JSON-serializable representation of a History."""
+    return {
+        "version": FORMAT_VERSION,
+        "strategy": history.strategy_name,
+        "scenario": history.scenario_name,
+        "rounds": [
+            {
+                "round_idx": r.round_idx,
+                "accuracy": r.accuracy,
+                "sampled_ids": list(r.sampled_ids),
+                "accepted_ids": list(r.accepted_ids),
+                "rejected_ids": list(r.rejected_ids),
+                "malicious_sampled": r.malicious_sampled,
+                "malicious_accepted": r.malicious_accepted,
+                "upload_nbytes": r.upload_nbytes,
+                "download_nbytes": r.download_nbytes,
+                "duration_s": r.duration_s,
+                "metrics": _jsonable(r.metrics),
+            }
+            for r in history.rounds
+        ],
+    }
+
+
+def _jsonable(metrics: dict) -> dict:
+    out = {}
+    for key, value in metrics.items():
+        try:
+            json.dumps(value)
+            out[key] = value
+        except TypeError:
+            out[key] = repr(value)
+    return out
+
+
+def history_from_dict(data: dict) -> History:
+    """Inverse of :func:`history_to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported history format version {data.get('version')!r}")
+    history = History(data["strategy"], data["scenario"])
+    for r in data["rounds"]:
+        history.append(RoundRecord(
+            round_idx=r["round_idx"],
+            accuracy=r["accuracy"],
+            sampled_ids=r["sampled_ids"],
+            accepted_ids=r["accepted_ids"],
+            rejected_ids=r["rejected_ids"],
+            malicious_sampled=r["malicious_sampled"],
+            malicious_accepted=r["malicious_accepted"],
+            upload_nbytes=r["upload_nbytes"],
+            download_nbytes=r["download_nbytes"],
+            duration_s=r["duration_s"],
+            metrics=r.get("metrics", {}),
+        ))
+    return history
+
+
+def save_history(history: History, path: str | pathlib.Path) -> None:
+    """Write one history to a JSON file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history_to_dict(history), indent=1))
+
+
+def load_history(path: str | pathlib.Path) -> History:
+    """Read one history from a JSON file."""
+    return history_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_matrix(results: dict, directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Persist a {(strategy, scenario): History} matrix, one file per cell."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for (strategy, scenario), history in results.items():
+        path = directory / f"{strategy}__{scenario}.json"
+        save_history(history, path)
+        written.append(path)
+    return written
+
+
+def save_manifest(config, directory: str | pathlib.Path) -> pathlib.Path:
+    """Persist the experiment's FederationConfig next to its results."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.json"
+    path.write_text(json.dumps({"config": config.to_dict()}, indent=1))
+    return path
+
+
+def load_manifest(directory: str | pathlib.Path):
+    """Load the FederationConfig persisted by :func:`save_manifest`.
+
+    Returns ``None`` when no manifest exists (results without provenance).
+    """
+    from ..config import FederationConfig
+
+    path = pathlib.Path(directory) / "manifest.json"
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text())
+    return FederationConfig.from_dict(data["config"])
+
+
+def load_matrix(directory: str | pathlib.Path) -> dict:
+    """Load every ``<strategy>__<scenario>.json`` in a directory."""
+    directory = pathlib.Path(directory)
+    results = {}
+    for path in sorted(directory.glob("*__*.json")):
+        history = load_history(path)
+        results[(history.strategy_name, history.scenario_name)] = history
+    return results

@@ -1,0 +1,72 @@
+"""Update-space geometry diagnostics.
+
+The anomaly-detection family the paper surveys (§II) works because benign
+updates cluster in parameter space while attacks distort that geometry in
+characteristic ways: sign flips mirror the cluster, same-value attacks
+collapse to a point, additive noise offsets it, colluders sit unnaturally
+close together. These diagnostics quantify a round's geometry so analyses
+and notebooks can *see* what each defense is reacting to.
+
+All statistics are vectorized over the (clients × dims) update matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fl.updates import ClientUpdate
+
+__all__ = ["cosine_matrix", "RoundGeometry", "round_geometry"]
+
+
+def cosine_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity of the rows (one GEMM)."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    norms = np.linalg.norm(matrix, axis=1)
+    norms = np.maximum(norms, 1e-12)
+    normalized = matrix / norms[:, None]
+    sims = normalized @ normalized.T
+    return np.clip(sims, -1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class RoundGeometry:
+    """Summary of one round's update-space structure."""
+
+    norms: np.ndarray               # per-update delta norms
+    cosine_to_mean: np.ndarray      # per-update cosine vs the mean delta
+    mean_pairwise_cosine: float
+    min_pairwise_cosine: float
+    norm_dispersion: float          # std(norms) / mean(norms)
+
+    def outliers_by_norm(self, z: float = 3.0) -> np.ndarray:
+        """Indices whose norm deviates > z MADs from the median."""
+        med = np.median(self.norms)
+        mad = np.median(np.abs(self.norms - med))
+        if mad < 1e-12:
+            return np.array([], dtype=np.int64)
+        return np.flatnonzero(np.abs(self.norms - med) > z * 1.4826 * mad)
+
+
+def round_geometry(
+    updates: list[ClientUpdate], global_weights: np.ndarray
+) -> RoundGeometry:
+    """Geometry of one round's update deltas (ψ_j − ψ₀)."""
+    if not updates:
+        raise ValueError("need at least one update")
+    deltas = np.stack([u.weights for u in updates]) - np.asarray(global_weights)
+    norms = np.linalg.norm(deltas, axis=1)
+    mean_delta = deltas.mean(axis=0)
+    mean_norm = max(np.linalg.norm(mean_delta), 1e-12)
+    cos_to_mean = (deltas @ mean_delta) / (np.maximum(norms, 1e-12) * mean_norm)
+    sims = cosine_matrix(deltas)
+    off_diag = sims[~np.eye(sims.shape[0], dtype=bool)]
+    return RoundGeometry(
+        norms=norms,
+        cosine_to_mean=np.clip(cos_to_mean, -1.0, 1.0),
+        mean_pairwise_cosine=float(off_diag.mean()) if off_diag.size else 1.0,
+        min_pairwise_cosine=float(off_diag.min()) if off_diag.size else 1.0,
+        norm_dispersion=float(norms.std() / max(norms.mean(), 1e-12)),
+    )

@@ -1,0 +1,76 @@
+"""Terminal visualization of images and synthetic samples.
+
+Debugging generative quality matters for FedGuard — a mis-trained CVAE
+silently degrades the audit. These helpers render flattened grayscale
+images as ASCII so synthetic digits can be eyeballed in a terminal or a
+test log without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_digit", "ascii_digit_grid", "preview_decoder"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_digit(image: np.ndarray, image_size: int | None = None) -> str:
+    """Render one flattened (or square) grayscale image in [0, 1] as text."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 1:
+        if image_size is None:
+            side = int(round(np.sqrt(image.size)))
+            if side * side != image.size:
+                raise ValueError(
+                    f"cannot infer square size from {image.size} pixels; "
+                    "pass image_size"
+                )
+            image_size = side
+        image = image.reshape(image_size, image_size)
+    levels = np.clip(image, 0.0, 1.0) * (len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[int(v)] for v in row) for row in levels)
+
+
+def ascii_digit_grid(
+    images: np.ndarray,
+    labels: np.ndarray | None = None,
+    image_size: int | None = None,
+    columns: int = 5,
+) -> str:
+    """Render several images side by side, optionally captioned with labels."""
+    images = np.atleast_2d(np.asarray(images))
+    rendered = [ascii_digit(img, image_size).splitlines() for img in images]
+    captions = (
+        [f"y={int(label)}" for label in labels]
+        if labels is not None
+        else ["" for _ in rendered]
+    )
+    blocks = []
+    for start in range(0, len(rendered), columns):
+        group = rendered[start : start + columns]
+        caps = captions[start : start + columns]
+        width = len(group[0][0])
+        lines = ["  ".join(cap.ljust(width) for cap in caps)]
+        for row_idx in range(len(group[0])):
+            lines.append("  ".join(block[row_idx] for block in group))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def preview_decoder(
+    decoder,
+    rng: np.random.Generator,
+    classes: np.ndarray | None = None,
+    image_size: int | None = None,
+) -> str:
+    """Sample one image per class from a CVAE decoder and render the grid.
+
+    The quickest sanity check of FedGuard's synthesis quality: if the
+    digits are not recognizable per class, the audit signal is weak.
+    """
+    if classes is None:
+        classes = np.arange(decoder.num_classes)
+    classes = np.asarray(classes)
+    images = decoder.generate(classes, rng)
+    return ascii_digit_grid(images, labels=classes, image_size=image_size)

@@ -1,0 +1,32 @@
+"""Federated-learning simulation layer (the paper's Algorithm 1 substrate)."""
+
+from .client import FLClient, train_classifier, train_cvae
+from .history import History, RoundRecord
+from .parallel import ExecutionBackend, ProcessPoolBackend, SequentialBackend
+from .sampling import ClientSampler, ReputationSampler, UniformSampler
+from .server import Server
+from .simulation import build_federation, run_federation
+from .strategy import AggregationResult, ServerContext, Strategy, weighted_average
+from .updates import ClientUpdate
+
+__all__ = [
+    "FLClient",
+    "train_classifier",
+    "train_cvae",
+    "ClientUpdate",
+    "Strategy",
+    "ServerContext",
+    "AggregationResult",
+    "weighted_average",
+    "Server",
+    "History",
+    "RoundRecord",
+    "build_federation",
+    "run_federation",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ProcessPoolBackend",
+    "ClientSampler",
+    "UniformSampler",
+    "ReputationSampler",
+]

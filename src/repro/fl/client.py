@@ -1,0 +1,262 @@
+"""Federated client: local classifier training, CVAE training, attacks.
+
+Implements the ``Client`` function of the paper's Algorithm 1 (lines
+22-27): receive global parameters ψ*, train the classifier on the private
+partition, (for FedGuard) train a CVAE on the same partition, and return
+(θ*, ψ*).
+
+Attack plumbing mirrors the threat model:
+
+* data-poisoning attacks rewrite the private dataset once, before any
+  training (so both the classifier *and* the CVAE see poisoned data);
+* model-poisoning attacks rewrite the trained classifier vector right
+  before upload; the CVAE decoder is trained honestly (these attacks
+  only manipulate the classifier update, cf. Section IV-B).
+
+Per the paper's footnote 5, the partition is static so the CVAE is trained
+once and cached across rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import Attack, DataPoisoningAttack, ModelPoisoningAttack
+from ..config import FederationConfig
+from ..data.dataset import Dataset
+from ..models import build_classifier, build_cvae
+from .updates import ClientUpdate
+
+__all__ = ["FLClient", "train_classifier", "train_cvae"]
+
+
+def train_classifier(
+    model,
+    dataset: Dataset,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+    rng: np.random.Generator,
+    momentum: float = 0.0,
+    optimizer: str = "sgd",
+    proximal_mu: float = 0.0,
+) -> float:
+    """Run local supervised training in place; returns the final mean epoch loss.
+
+    ``proximal_mu > 0`` adds FedProx's proximal term (Sahu et al. 2018) —
+    the local objective becomes ``L(w) + μ/2·‖w − w_global‖²``, anchoring
+    each client near the incoming global model. The paper's future-work
+    section (§VI-C) suggests FedProx as an alternative internal operator
+    for FedGuard; this is its client half (the server half is unchanged
+    averaging).
+    """
+    if optimizer == "sgd":
+        opt = nn.SGD(model.parameters(), lr=lr, momentum=momentum)
+    elif optimizer == "adam":
+        opt = nn.Adam(model.parameters(), lr=lr)
+    else:
+        raise ValueError(f"unknown optimizer {optimizer!r}")
+    loss_fn = nn.SoftmaxCrossEntropy()
+    anchors = (
+        [p.data.copy() for p in model.parameters()] if proximal_mu > 0.0 else None
+    )
+    last_epoch_loss = float("nan")
+    for _ in range(epochs):
+        losses = []
+        for features, labels in dataset.batches(batch_size, rng):
+            loss = loss_fn(model(features), labels)
+            opt.zero_grad()
+            model.backward(loss_fn.backward())
+            if anchors is not None:
+                for p, anchor in zip(model.parameters(), anchors):
+                    p.grad += proximal_mu * (p.data - anchor)
+            opt.step()
+            losses.append(loss)
+        last_epoch_loss = float(np.mean(losses)) if losses else float("nan")
+    return last_epoch_loss
+
+
+def train_cvae(
+    cvae,
+    dataset: Dataset,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> float:
+    """Train the client CVAE on its private data (paper Alg. 1, line 25)."""
+    opt = nn.Adam(cvae.parameters(), lr=lr)
+    loss_fn = nn.CVAELoss()
+    last_epoch_loss = float("nan")
+    for _ in range(epochs):
+        losses = []
+        for features, labels in dataset.batches(batch_size, rng):
+            target = cvae.reconstruction_target(features, labels)
+            recon, mu, logvar = cvae.forward(features, labels, rng)
+            loss = loss_fn(recon, target, mu, logvar)
+            opt.zero_grad()
+            cvae.backward(*loss_fn.backward())
+            opt.step()
+            losses.append(loss)
+        last_epoch_loss = float(np.mean(losses)) if losses else float("nan")
+    return last_epoch_loss
+
+
+class FLClient:
+    """One simulated federated participant.
+
+    Parameters
+    ----------
+    client_id:
+        Stable identifier within the federation.
+    dataset:
+        The client's private partition P_j.
+    config:
+        Federation-wide hyper-parameters.
+    rng:
+        This client's private random stream (derived from the federation
+        seed so the whole simulation is deterministic).
+    attack:
+        ``None`` for benign clients; otherwise the installed adversarial
+        behaviour.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        config: FederationConfig,
+        rng: np.random.Generator,
+        attack: Attack | None = None,
+        stream=None,
+    ) -> None:
+        self.client_id = client_id
+        self.config = config
+        self.rng = rng
+        self.attack = attack
+        # Dynamic-dataset support (§VI-C): an optional DataStream the
+        # client pulls fresh samples from each round.
+        self.stream = stream
+
+        if isinstance(attack, DataPoisoningAttack):
+            dataset = attack.apply(dataset, rng)
+        self.dataset = dataset
+
+        # Shell model reused across rounds; weights are overwritten from the
+        # incoming global vector at each fit() call.
+        self._model = build_classifier(config.model, rng)
+        self._cvae = None
+        self._decoder_vector: np.ndarray | None = None
+        self.cvae_loss: float = float("nan")
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.attack is not None
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    # -- CVAE ---------------------------------------------------------------
+    def decoder_vector(self) -> np.ndarray:
+        """Train the CVAE once (lazily) and return the flattened decoder θ_j."""
+        if self._decoder_vector is None:
+            cfg = self.config
+            cvae_data = self.dataset
+            # Decoder-poisoning attackers corrupt only the CVAE's training
+            # labels (§VI-B's "malicious decoders"); the classifier keeps
+            # training on the honest data.
+            poison = getattr(self.attack, "poison_cvae_data", None)
+            if poison is not None:
+                cvae_data = poison(self.dataset, self.rng)
+            self._cvae = build_cvae(cfg.model, self.rng)
+            self.cvae_loss = train_cvae(
+                self._cvae, cvae_data,
+                epochs=cfg.cvae_epochs, lr=cfg.cvae_lr,
+                batch_size=cfg.cvae_batch_size, rng=self.rng,
+            )
+            self._decoder_vector = nn.parameters_to_vector(self._cvae.decoder)
+        return self._decoder_vector
+
+    # -- dynamic data ---------------------------------------------------------
+    def ingest_stream(self, round_idx: int) -> None:
+        """Pull this round's fresh samples from the data stream, if any.
+
+        Incoming samples pass through the same data-poisoning attack as the
+        initial partition (a label-flipping client flips *everything* it
+        trains on), and the retention window drops the oldest samples. When
+        ``cvae_refresh_every`` is set, the cached decoder is invalidated on
+        schedule so the CVAE re-trains on the current window.
+        """
+        cfg = self.config
+        if self.stream is None or cfg.stream_samples_per_round <= 0:
+            return
+        fresh = self.stream.next_batch(cfg.stream_samples_per_round)
+        if isinstance(self.attack, DataPoisoningAttack):
+            fresh = self.attack.apply(fresh, self.rng)
+        self.dataset = Dataset.concat(self.dataset, fresh)
+        if cfg.stream_window > 0:
+            self.dataset = self.dataset.tail(cfg.stream_window)
+        if cfg.cvae_refresh_every > 0 and round_idx % cfg.cvae_refresh_every == 0:
+            self._decoder_vector = None
+
+    # -- federated round -------------------------------------------------------
+    def fit(
+        self,
+        global_weights: np.ndarray,
+        include_decoder: bool,
+        round_idx: int = 0,
+    ) -> ClientUpdate:
+        """Run one local round: load ψ*, train, (attack), upload.
+
+        Parameters
+        ----------
+        global_weights:
+            The current global classifier vector ψ₀.
+        include_decoder:
+            Whether the aggregation strategy asked for CVAE decoders
+            (FedGuard). Triggers one-time CVAE training on first use.
+        round_idx:
+            Current federated round (drives stream ingestion and the CVAE
+            refresh schedule in the dynamic-dataset setting).
+        """
+        cfg = self.config
+        self.ingest_stream(round_idx)
+        nn.vector_to_parameters(global_weights, self._model)
+        train_loss = train_classifier(
+            self._model, self.dataset,
+            epochs=cfg.local_epochs, lr=cfg.client_lr,
+            batch_size=cfg.batch_size, rng=self.rng,
+            momentum=cfg.client_momentum, optimizer=cfg.client_optimizer,
+            proximal_mu=cfg.proximal_mu,
+        )
+        weights = nn.parameters_to_vector(self._model)
+        if isinstance(self.attack, ModelPoisoningAttack):
+            # Optimized attacks (Fang-style, scaling) exploit knowledge of
+            # the global model (threat model TM-2); hand it over if the
+            # attack declares the hook.
+            bind = getattr(self.attack, "bind_global", None)
+            if bind is not None:
+                bind(global_weights)
+            weights = self.attack.apply(weights, self.rng)
+        decoder = self.decoder_vector() if include_decoder else None
+        return ClientUpdate(
+            client_id=self.client_id,
+            weights=weights,
+            num_samples=self.num_samples,
+            decoder_weights=decoder,
+            # §VI-B: advertise which classes the CVAE actually saw, so a
+            # class-aware server never asks a decoder for a digit it
+            # cannot draw. (For a label-flipping client this reflects the
+            # *poisoned* labels — the attacker controls its own metadata.)
+            decoder_classes=self.dataset.classes_present() if include_decoder else None,
+            train_loss=train_loss,
+            malicious=self.is_malicious,
+        )
+
+    def evaluate(self, weights: np.ndarray, dataset: Dataset | None = None) -> float:
+        """Accuracy of the given classifier vector on a dataset (local by default)."""
+        data = dataset if dataset is not None else self.dataset
+        nn.vector_to_parameters(weights, self._model)
+        return float(np.mean(self._model.predict(data.features) == data.labels))

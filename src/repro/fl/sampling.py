@@ -1,0 +1,93 @@
+"""Client sampling policies.
+
+The paper samples participants uniformly (Alg. 1: ``sample(range(1, N),
+m)``) but its conclusion suggests FedGuard's audit signal "could further be
+used ... for enabling a better sampling of quality candidates in FL
+systems". :class:`ReputationSampler` implements that idea: every
+accept/reject decision the aggregation strategy makes feeds a per-client
+reputation, and subsequent rounds sample in proportion to it (with an
+exploration floor so new or recovered clients keep getting audited).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .history import RoundRecord
+
+__all__ = ["ClientSampler", "UniformSampler", "ReputationSampler"]
+
+
+class ClientSampler:
+    """Interface: choose m of N clients per round, learn from outcomes."""
+
+    def sample(self, n_clients: int, m: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def observe(self, record: RoundRecord) -> None:
+        """Feedback hook called by the server after every round."""
+
+
+class UniformSampler(ClientSampler):
+    """The paper's uniform-without-replacement sampling."""
+
+    def sample(self, n_clients: int, m: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.choice(n_clients, size=m, replace=False)
+
+
+class ReputationSampler(ClientSampler):
+    """Sample proportionally to audit-derived reputation.
+
+    Reputation is an exponential moving average of accept (+1) / reject
+    (0) outcomes, initialized optimistically at 1.0. Sampling weights are
+    ``epsilon/N + (1 - epsilon) * reputation / Σ reputation`` — the
+    epsilon floor guarantees every client remains reachable, so a
+    recovered client (or a false positive) can rebuild its standing.
+
+    Parameters
+    ----------
+    decay:
+        EMA factor; higher = longer memory.
+    epsilon:
+        Exploration mass spread uniformly over all clients.
+    """
+
+    def __init__(self, decay: float = 0.8, epsilon: float = 0.2) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        if not 0.0 < epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        self.decay = decay
+        self.epsilon = epsilon
+        self._reputation: np.ndarray | None = None
+
+    def _ensure(self, n_clients: int) -> np.ndarray:
+        if self._reputation is None:
+            self._reputation = np.ones(n_clients)
+        elif self._reputation.size != n_clients:
+            raise ValueError(
+                f"sampler was built for {self._reputation.size} clients, "
+                f"got {n_clients}"
+            )
+        return self._reputation
+
+    def reputation(self, n_clients: int) -> np.ndarray:
+        """Current per-client reputation (copy)."""
+        return self._ensure(n_clients).copy()
+
+    def sample(self, n_clients: int, m: int, rng: np.random.Generator) -> np.ndarray:
+        rep = self._ensure(n_clients)
+        base = rep / rep.sum() if rep.sum() > 0 else np.full(n_clients, 1.0 / n_clients)
+        probs = self.epsilon / n_clients + (1.0 - self.epsilon) * base
+        probs /= probs.sum()
+        return rng.choice(n_clients, size=m, replace=False, p=probs)
+
+    def observe(self, record: RoundRecord) -> None:
+        if self._reputation is None:
+            return
+        accepted = set(record.accepted_ids)
+        for cid in record.sampled_ids:
+            outcome = 1.0 if cid in accepted else 0.0
+            self._reputation[cid] = (
+                self.decay * self._reputation[cid] + (1.0 - self.decay) * outcome
+            )

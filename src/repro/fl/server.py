@@ -1,0 +1,214 @@
+"""Federated server: round orchestration, selection, aggregation, accounting.
+
+Implements the ``Server`` function of the paper's Algorithm 1 (lines
+14-20): initialize ψ₀, then per round sample m of the N clients, collect
+(θ_j, ψ_j), hand them to the aggregation strategy, and blend the result
+into the global model with the server learning rate of Fig. 5:
+
+    ψ₀ ← ψ₀ + η_s · (aggregate(...) − ψ₀)          (η_s = 1 reduces to Alg. 1)
+
+Timing model for Table V: in the paper's testbed clients train in parallel
+across nodes, so the simulated round duration is the *maximum* client fit
+time plus server-side aggregation time. Communication is accounted exactly
+from serialized parameter sizes (4 bytes/param wire format):
+
+* server downloads / round = Σ client upload bytes (ψ_j, plus θ_j for
+  FedGuard);
+* server uploads / round   = m · |ψ| bytes (global model broadcast).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from ..config import FederationConfig
+from ..data.dataset import Dataset
+from .client import FLClient
+from .history import History, RoundRecord
+from .strategy import ServerContext, Strategy
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Drives a federation of :class:`~repro.fl.client.FLClient` objects."""
+
+    def __init__(
+        self,
+        clients: list[FLClient],
+        strategy: Strategy,
+        config: FederationConfig,
+        test_dataset: Dataset,
+        context: ServerContext,
+        rng: np.random.Generator,
+        scenario_name: str = "no_attack",
+        initial_weights: np.ndarray | None = None,
+        flip_pairs: tuple[tuple[int, int], ...] | None = None,
+        backend=None,
+        sampler=None,
+        record_geometry: bool = False,
+    ) -> None:
+        if not clients:
+            raise ValueError("server needs at least one client")
+        self.clients = clients
+        self.strategy = strategy
+        self.config = config
+        self.test_dataset = test_dataset
+        self.context = context
+        self.rng = rng
+        self.scenario_name = scenario_name
+        # When the scenario is a targeted label-flip, per-round records
+        # also carry the attack success rate on the flipped pairs.
+        self.flip_pairs = flip_pairs
+        if backend is None:
+            from .parallel import SequentialBackend
+
+            backend = SequentialBackend()
+        self.backend = backend
+        if sampler is None:
+            from .sampling import UniformSampler
+
+            sampler = UniformSampler()
+        self.sampler = sampler
+        # Optional per-round update-space diagnostics (norm dispersion,
+        # pairwise cosines) recorded into the round metrics.
+        self.record_geometry = record_geometry
+
+        self._eval_model = context.make_classifier()
+        if initial_weights is not None:
+            self.global_weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        else:
+            self.global_weights = nn.parameters_to_vector(self._eval_model)
+        self._setup_done = False
+
+    # -- pieces ------------------------------------------------------------
+    def sample_clients(self) -> list[FLClient]:
+        """Sample m participating clients (Alg. 1, line 17).
+
+        Uniform by default; a :class:`~repro.fl.sampling.ReputationSampler`
+        biases selection toward clients with good audit history.
+        """
+        ids = self.sampler.sample(
+            len(self.clients), self.config.clients_per_round, self.rng
+        )
+        return [self.clients[i] for i in ids]
+
+    def evaluate(self, weights: np.ndarray | None = None) -> float:
+        """Global test accuracy of the (given or current) global model."""
+        vec = self.global_weights if weights is None else weights
+        nn.vector_to_parameters(vec, self._eval_model)
+        preds = self._eval_model.predict(self.test_dataset.features)
+        return float(np.mean(preds == self.test_dataset.labels))
+
+    def evaluate_distributed(self, weights: np.ndarray | None = None) -> dict:
+        """Federated evaluation: the global model on every client's local data.
+
+        The paper evaluates centrally on a held-out test set; production FL
+        systems often cannot and instead aggregate client-local accuracies.
+        Returns the sample-weighted mean, the unweighted per-client
+        accuracies, and the worst client — the fairness view a central test
+        set hides (a client whose distribution the global model serves
+        poorly is invisible in the central average).
+        """
+        vec = self.global_weights if weights is None else weights
+        accuracies = np.array([c.evaluate(vec) for c in self.clients])
+        sizes = np.array([c.num_samples for c in self.clients], dtype=np.float64)
+        return {
+            "weighted_accuracy": float(np.average(accuracies, weights=sizes)),
+            "per_client": accuracies,
+            "worst_client": int(np.argmin(accuracies)),
+            "worst_accuracy": float(accuracies.min()),
+        }
+
+    # -- the round loop ------------------------------------------------------
+    def run_round(self, round_idx: int) -> RoundRecord:
+        """Execute one federated round and return its record."""
+        if not self._setup_done:
+            self.strategy.setup(self.context)
+            self._setup_done = True
+
+        participants = self.sample_clients()
+        include_decoder = self.strategy.needs_decoder
+
+        updates, client_times = self.backend.fit_clients(
+            participants, self.global_weights, include_decoder, round_idx
+        )
+
+        t0 = time.perf_counter()
+        result = self.strategy.aggregate(
+            round_idx, updates, self.global_weights, self.context
+        )
+        aggregation_time = time.perf_counter() - t0
+
+        incoming_global = self.global_weights.copy() if self.record_geometry else None
+        eta = self.config.server_lr
+        self.global_weights += eta * (result.weights - self.global_weights)
+
+        accuracy = self.evaluate()
+        extra_metrics = {}
+        if self.record_geometry:
+            from ..experiments.update_geometry import round_geometry
+
+            # Deltas are measured against the round's *incoming* global
+            # model, not the post-aggregation one.
+            geometry = round_geometry(updates, incoming_global)
+            extra_metrics.update(
+                geometry_mean_cosine=geometry.mean_pairwise_cosine,
+                geometry_min_cosine=geometry.min_pairwise_cosine,
+                geometry_norm_dispersion=geometry.norm_dispersion,
+                geometry_norm_outliers=geometry.outliers_by_norm().tolist(),
+            )
+        if self.flip_pairs is not None:
+            from ..metrics import attack_success_rate
+
+            nn.vector_to_parameters(self.global_weights, self._eval_model)
+            preds = self._eval_model.predict(self.test_dataset.features)
+            extra_metrics["attack_success_rate"] = attack_success_rate(
+                self.test_dataset.labels, preds, self.flip_pairs
+            )
+        accepted = set(result.accepted_ids)
+        malicious_ids = {u.client_id for u in updates if u.malicious}
+
+        classifier_nbytes = self.global_weights.size * nn.WIRE_BYTES_PER_PARAM
+        upload_nbytes = sum(u.upload_nbytes for u in updates)
+        download_nbytes = len(participants) * classifier_nbytes
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            accuracy=accuracy,
+            sampled_ids=[u.client_id for u in updates],
+            accepted_ids=sorted(accepted),
+            rejected_ids=sorted(result.rejected_ids),
+            malicious_sampled=len(malicious_ids),
+            malicious_accepted=len(accepted & malicious_ids),
+            upload_nbytes=upload_nbytes,
+            download_nbytes=download_nbytes,
+            duration_s=(max(client_times) if client_times else 0.0) + aggregation_time,
+            metrics={
+                "client_time_max_s": max(client_times) if client_times else 0.0,
+                "client_time_sum_s": sum(client_times),
+                "aggregation_time_s": aggregation_time,
+                **extra_metrics,
+                **result.metrics,
+            },
+        )
+        self.sampler.observe(record)
+        return record
+
+    def run(self, rounds: int | None = None, verbose: bool = False) -> History:
+        """Run the configured number of rounds; returns the full history."""
+        total = rounds if rounds is not None else self.config.rounds
+        history = History(self.strategy.name, self.scenario_name)
+        for round_idx in range(1, total + 1):
+            record = self.run_round(round_idx)
+            history.append(record)
+            if verbose:
+                print(
+                    f"[{self.strategy.name} / {self.scenario_name}] "
+                    f"round {round_idx:3d}: acc={record.accuracy:.4f} "
+                    f"rejected={len(record.rejected_ids)}"
+                )
+        return history

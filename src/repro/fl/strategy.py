@@ -1,0 +1,109 @@
+"""Strategy interface: how the server turns client updates into a new model.
+
+Mirrors the role of a Flower ``Strategy``. A strategy receives the round's
+:class:`~repro.fl.updates.ClientUpdate` list plus a :class:`ServerContext`
+giving it the server-side resources the paper's defenses need (fresh model
+shells to load parameters into, the synthesis RNG, an auxiliary dataset for
+Spectral's pre-training) and returns an :class:`AggregationResult`.
+
+The server — not the strategy — applies the server learning rate
+(paper Fig. 5): ``global += server_lr * (aggregated - global)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .updates import ClientUpdate
+
+__all__ = ["ServerContext", "AggregationResult", "Strategy", "weighted_average"]
+
+
+@dataclass
+class ServerContext:
+    """Server-side resources available to aggregation strategies.
+
+    Attributes
+    ----------
+    make_classifier:
+        Factory producing a fresh classifier shell (weights are then loaded
+        from a flat vector) — used by FedGuard to audit updates.
+    make_decoder:
+        Factory producing a fresh CVAE-decoder shell for θ_j.
+    num_classes:
+        Number of task classes ``L``.
+    t_samples:
+        Synthetic validation samples per round (paper: t = 2·m).
+    class_probs:
+        The categorical ``alpha`` of Alg. 1 — assumed class probabilities
+        for conditioning-label sampling (uniform in the paper).
+    rng:
+        Server RNG (latent/conditioning sampling, tie-breaking).
+    auxiliary_dataset:
+        A small public dataset. ONLY defenses that the paper grants one
+        (Spectral) may touch it; FedGuard must not.
+    """
+
+    make_classifier: Callable[[], object]
+    make_decoder: Callable[[], object]
+    num_classes: int
+    t_samples: int
+    class_probs: np.ndarray
+    rng: np.random.Generator
+    auxiliary_dataset: Dataset | None = None
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one aggregation step."""
+
+    weights: np.ndarray
+    accepted_ids: list[int] = field(default_factory=list)
+    rejected_ids: list[int] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+class Strategy:
+    """Base class for aggregation strategies.
+
+    ``needs_decoder`` tells clients whether to train/ship their CVAE
+    decoder (only FedGuard sets this); ``needs_auxiliary`` marks strategies
+    that require the server-side public dataset (only Spectral).
+    """
+
+    name: str = "strategy"
+    needs_decoder: bool = False
+    needs_auxiliary: bool = False
+
+    def setup(self, context: ServerContext) -> None:
+        """One-time initialization before round 1 (e.g. Spectral pre-training)."""
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        global_weights: np.ndarray,
+        context: ServerContext,
+    ) -> AggregationResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+def weighted_average(updates: list[ClientUpdate]) -> np.ndarray:
+    """Sample-count-weighted mean of update vectors (the FedAvg operator).
+
+    Stacks the vectors into a single (clients, dims) matrix so the average
+    is one vectorized reduction.
+    """
+    if not updates:
+        raise ValueError("cannot average an empty update list")
+    matrix = np.stack([u.weights for u in updates])
+    weights = np.array([u.num_samples for u in updates], dtype=np.float64)
+    weights /= weights.sum()
+    return weights @ matrix

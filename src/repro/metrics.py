@@ -1,0 +1,66 @@
+"""Evaluation metrics beyond plain accuracy.
+
+The paper's label-flipping attack is *targeted*: overall accuracy stays
+deceptively high while the flipped class pairs (5↔7, 4↔2) are corrupted.
+These metrics expose that damage:
+
+* :func:`per_class_accuracy` — accuracy restricted to each class;
+* :func:`attack_success_rate` — fraction of samples from attacked source
+  classes that the model classifies as the attacker's target class;
+* :func:`confusion_matrix` — the full L×L count matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["per_class_accuracy", "attack_success_rate", "confusion_matrix"]
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Counts[i, j] = samples of true class i predicted as class j."""
+    true_labels = np.asarray(true_labels)
+    predicted = np.asarray(predicted)
+    if true_labels.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: labels {true_labels.shape} vs predictions {predicted.shape}"
+        )
+    counts = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(counts, (true_labels, predicted), 1)
+    return counts
+
+
+def per_class_accuracy(
+    true_labels: np.ndarray, predicted: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Accuracy per true class; NaN for classes with no samples."""
+    counts = confusion_matrix(true_labels, predicted, num_classes)
+    totals = counts.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        acc = np.diag(counts) / totals
+    return np.where(totals > 0, acc, np.nan)
+
+
+def attack_success_rate(
+    true_labels: np.ndarray,
+    predicted: np.ndarray,
+    flip_pairs: tuple[tuple[int, int], ...],
+) -> float:
+    """Fraction of attacked-class samples misrouted to the paired class.
+
+    For the paper's 5↔7 / 4↔2 flips: how often is a true 5 predicted as 7
+    (and vice versa, and likewise for 4/2)? 0.0 = attack fully defeated,
+    1.0 = attack fully succeeded. NaN if no attacked-class samples exist.
+    """
+    true_labels = np.asarray(true_labels)
+    predicted = np.asarray(predicted)
+    hits = 0
+    total = 0
+    for a, b in flip_pairs:
+        for src, dst in ((a, b), (b, a)):
+            mask = true_labels == src
+            total += int(mask.sum())
+            hits += int((predicted[mask] == dst).sum())
+    return hits / total if total else float("nan")

@@ -1,0 +1,30 @@
+"""Model zoo: the paper's exact architectures plus scaled variants.
+
+* :func:`mnist_cnn` — Table II classifier (1,662,752 weight parameters).
+* :func:`mnist_cvae` — Table III CVAE (664,834 parameters incl. biases).
+* :func:`scaled_cnn` / :func:`scaled_cvae` — same topologies, laptop-sized.
+* :class:`VAE` — unconditional VAE for the Spectral baseline.
+"""
+
+from .classifier import CNNClassifier, MLPClassifier, mnist_cnn, scaled_cnn
+from .cvae import CVAE, CVAEDecoder, CVAEEncoder, mnist_cvae, scaled_cvae
+from .factory import build_classifier, build_cvae, build_decoder
+from .gan import GAN
+from .vae import VAE
+
+__all__ = [
+    "build_classifier",
+    "build_cvae",
+    "build_decoder",
+    "CNNClassifier",
+    "MLPClassifier",
+    "mnist_cnn",
+    "scaled_cnn",
+    "CVAE",
+    "CVAEEncoder",
+    "CVAEDecoder",
+    "mnist_cvae",
+    "scaled_cvae",
+    "VAE",
+    "GAN",
+]

@@ -1,0 +1,61 @@
+"""Build models from a :class:`repro.config.ModelConfig`.
+
+Centralizing construction guarantees that every client and the server
+instantiate byte-identical architectures — a requirement for flat-vector
+parameter exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig
+from .classifier import CNNClassifier, MLPClassifier
+from .cvae import CVAE, CVAEDecoder
+
+__all__ = ["build_classifier", "build_cvae", "build_decoder"]
+
+
+def build_classifier(config: ModelConfig, rng: np.random.Generator | None = None):
+    """Instantiate the classifier described by ``config``."""
+    if config.kind == "cnn":
+        return CNNClassifier(
+            image_size=config.image_size,
+            in_channels=1,
+            channels=config.cnn_channels,
+            hidden=config.cnn_hidden,
+            num_classes=config.num_classes,
+            kernel_size=config.cnn_kernel,
+            rng=rng,
+        )
+    if config.kind == "mlp":
+        return MLPClassifier(
+            input_dim=config.input_dim,
+            hidden=config.mlp_hidden,
+            num_classes=config.num_classes,
+            rng=rng,
+        )
+    raise ValueError(f"unknown classifier kind {config.kind!r}")
+
+
+def build_cvae(config: ModelConfig, rng: np.random.Generator | None = None) -> CVAE:
+    """Instantiate the CVAE described by ``config``."""
+    return CVAE(
+        input_dim=config.input_dim,
+        num_classes=config.num_classes,
+        hidden=config.cvae_hidden,
+        latent_dim=config.cvae_latent,
+        reconstruct_label=True,
+        rng=rng,
+    )
+
+
+def build_decoder(config: ModelConfig, rng: np.random.Generator | None = None) -> CVAEDecoder:
+    """Instantiate a standalone decoder shell (server side, for loading θ_j)."""
+    return CVAEDecoder(
+        latent_dim=config.cvae_latent,
+        num_classes=config.num_classes,
+        hidden=config.cvae_hidden,
+        out_dim=config.input_dim + config.num_classes,
+        rng=rng,
+    )

@@ -1,0 +1,112 @@
+"""A small MLP GAN (Goodfellow et al. 2014), used by the PDGAN baseline.
+
+PDGAN (Zhao et al. 2019) trains a GAN on the server: the generator learns
+to synthesize task-domain images from auxiliary data so the server can
+audit client updates on them. Unlike FedGuard's CVAE, the generation is
+*unconditioned* — the class of each generated sample is unknown — which is
+exactly the deficiency the FedGuard paper calls out.
+
+The architecture mirrors the CVAE's footprint: one ReLU hidden layer in
+the generator (sigmoid output over pixels) and one LeakyReLU hidden layer
+in the discriminator (sigmoid real/fake head). Training is the standard
+non-saturating alternating scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["GAN"]
+
+
+class GAN(nn.Module):
+    """Generator/discriminator pair over flattened images in [0, 1]."""
+
+    def __init__(
+        self,
+        data_dim: int,
+        latent_dim: int = 16,
+        hidden: int = 128,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.data_dim = data_dim
+        self.latent_dim = latent_dim
+
+        self.generator = nn.Sequential(
+            nn.Linear(latent_dim, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, data_dim, rng=rng),
+            nn.Sigmoid(),
+        )
+        self.discriminator = nn.Sequential(
+            nn.Linear(data_dim, hidden, rng=rng),
+            nn.LeakyReLU(0.2),
+            nn.Linear(hidden, 1, rng=rng),
+            nn.Sigmoid(),
+        )
+
+    # -- sampling -----------------------------------------------------------
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Synthesize ``n`` images (no class conditioning — by design)."""
+        z = rng.standard_normal((n, self.latent_dim))
+        return self.generator(z)
+
+    # -- training --------------------------------------------------------------
+    def fit(
+        self,
+        data: np.ndarray,
+        epochs: int,
+        rng: np.random.Generator,
+        batch_size: int = 32,
+        lr: float = 2e-4,
+    ) -> list[dict]:
+        """Alternating GAN training; returns per-epoch loss summaries.
+
+        Discriminator: maximize log D(x) + log(1 − D(G(z))).
+        Generator: non-saturating loss, maximize log D(G(z)).
+        """
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        d_opt = nn.Adam(self.discriminator.parameters(), lr=lr, betas=(0.5, 0.999))
+        g_opt = nn.Adam(self.generator.parameters(), lr=lr, betas=(0.5, 0.999))
+        bce = nn.BCELoss()
+        history: list[dict] = []
+        n = data.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            d_losses, g_losses = [], []
+            for start in range(0, n, batch_size):
+                real = data[order[start : start + batch_size]]
+                m = real.shape[0]
+
+                # --- discriminator step ---
+                fake = self.generate(m, rng)
+                d_real = self.discriminator(real)
+                loss_real = bce(d_real, np.ones((m, 1)))
+                d_opt.zero_grad()
+                self.discriminator.backward(bce.backward())
+                d_fake = self.discriminator(fake)
+                loss_fake = bce(d_fake, np.zeros((m, 1)))
+                self.discriminator.backward(bce.backward())
+                d_opt.step()
+                d_losses.append(loss_real + loss_fake)
+
+                # --- generator step (non-saturating) ---
+                z = rng.standard_normal((m, self.latent_dim))
+                generated = self.generator(z)
+                d_out = self.discriminator(generated)
+                g_loss = bce(d_out, np.ones((m, 1)))
+                g_opt.zero_grad()
+                self.discriminator.zero_grad()  # discard disc grads from this pass
+                d_input_grad = self.discriminator.backward(bce.backward())
+                self.generator.backward(d_input_grad)
+                g_opt.step()
+                g_losses.append(g_loss)
+            history.append({
+                "d_loss": float(np.mean(d_losses)),
+                "g_loss": float(np.mean(g_losses)),
+            })
+        return history

@@ -1,0 +1,126 @@
+"""Plain (unconditional) VAE, used by the SPECTRAL baseline defense.
+
+SPECTRAL (Li et al., "Learning to Detect Malicious Clients for Robust
+Federated Learning") trains a VAE on low-dimensional *surrogate vectors*
+of benign model updates collected during a centralized pre-training phase
+on an auxiliary dataset. At federated time, updates whose reconstruction
+error exceeds the mean are flagged malicious and excluded.
+
+The architecture mirrors the CVAE of Table III minus the conditioning —
+a single ReLU hidden layer in both encoder and decoder — operating on
+surrogate vectors rather than images, so the output nonlinearity is
+linear (Gaussian likelihood / MSE reconstruction) instead of a sigmoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["VAE"]
+
+
+class VAE(nn.Module):
+    """Gaussian-likelihood VAE for real-valued vectors.
+
+    Trained with MSE reconstruction + KL; scores inputs by reconstruction
+    error, which is what the Spectral defense thresholds on.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden: int = 64,
+        latent_dim: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+
+        self.enc_fc1 = nn.Linear(input_dim, hidden, rng=rng)
+        self.enc_relu = nn.ReLU()
+        self.enc_mu = nn.Linear(hidden, latent_dim, rng=rng)
+        self.enc_logvar = nn.Linear(hidden, latent_dim, rng=rng)
+
+        self.dec_fc1 = nn.Linear(latent_dim, hidden, rng=rng)
+        self.dec_relu = nn.ReLU()
+        self.dec_fc2 = nn.Linear(hidden, input_dim, rng=rng)
+
+        self._cache: dict | None = None
+
+    def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        h = self.enc_relu(self.enc_fc1(x))
+        return self.enc_mu(h), self.enc_logvar(h)
+
+    def decode(self, z: np.ndarray) -> np.ndarray:
+        return self.dec_fc2(self.dec_relu(self.dec_fc1(z)))
+
+    def forward(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        mu, logvar = self.encode(x)
+        eps = rng.standard_normal(mu.shape)
+        sigma = np.exp(0.5 * logvar)
+        z = mu + eps * sigma
+        recon = self.decode(z)
+        self._cache = {"eps": eps, "sigma": sigma}
+        return recon, mu, logvar
+
+    def backward(self, d_recon: np.ndarray, d_mu: np.ndarray, d_logvar: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        eps, sigma = self._cache["eps"], self._cache["sigma"]
+        dh = self.dec_fc2.backward(d_recon)
+        dh = self.dec_relu.backward(dh)
+        dz = self.dec_fc1.backward(dh)
+        d_mu_total = d_mu + dz
+        d_logvar_total = d_logvar + dz * eps * 0.5 * sigma
+        dh = self.enc_mu.backward(d_mu_total) + self.enc_logvar.backward(d_logvar_total)
+        dh = self.enc_relu.backward(dh)
+        self.enc_fc1.backward(dh)
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        """Deterministic per-row squared reconstruction error.
+
+        Uses the posterior mean (no sampling) so the anomaly score is
+        stable across calls — the behaviour the Spectral defense relies on.
+        """
+        x = np.atleast_2d(x)
+        mu, _ = self.encode(x)
+        recon = self.decode(mu)
+        return np.sum((recon - x) ** 2, axis=1)
+
+    def fit(
+        self,
+        data: np.ndarray,
+        epochs: int,
+        rng: np.random.Generator,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        beta: float = 1.0,
+    ) -> list[float]:
+        """Train on rows of ``data``; returns per-epoch mean losses."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        optimizer = nn.Adam(self.parameters(), lr=lr)
+        mse = nn.MSELoss()
+        history: list[float] = []
+        n = data.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                batch = data[order[start : start + batch_size]]
+                recon, mu, logvar = self.forward(batch, rng)
+                rec_loss = mse(recon, batch)
+                kl = nn.gaussian_kl(mu, logvar)
+                optimizer.zero_grad()
+                d_recon = mse.backward()
+                d_mu, d_logvar = nn.gaussian_kl_grads(mu, logvar)
+                self.backward(d_recon, beta * d_mu, beta * d_logvar)
+                optimizer.step()
+                losses.append(rec_loss + beta * kl)
+            history.append(float(np.mean(losses)))
+        return history

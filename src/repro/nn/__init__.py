@@ -1,0 +1,71 @@
+"""A small, fully vectorized NumPy neural-network framework.
+
+This substrate replaces PyTorch in the FedGuard reproduction: it provides
+modules/parameters, layers (Linear, Conv2d via im2col, MaxPool2d, Flatten,
+Dropout), activations, losses (including the CVAE ELBO), optimizers
+(SGD/Adam), and the flat-vector parameter serialization that the federated
+layer aggregates and the attacks manipulate.
+"""
+
+from . import functional
+from .activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .checkpoint import load_checkpoint, load_state, save_checkpoint
+from .layers import Conv2d, Dropout, Flatten, Linear, MaxPool2d
+from .losses import (
+    BCELoss,
+    CVAELoss,
+    MSELoss,
+    SoftmaxCrossEntropy,
+    gaussian_kl,
+    gaussian_kl_grads,
+)
+from .module import Module, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer
+from .schedulers import CosineAnnealingLR, ExponentialLR, Scheduler, StepLR
+from .serialization import (
+    WIRE_BYTES_PER_PARAM,
+    parameter_shapes,
+    parameters_to_vector,
+    split_vector,
+    vector_nbytes,
+    vector_to_parameters,
+)
+
+__all__ = [
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "Flatten",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "SoftmaxCrossEntropy",
+    "BCELoss",
+    "MSELoss",
+    "CVAELoss",
+    "gaussian_kl",
+    "gaussian_kl_grads",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "parameters_to_vector",
+    "vector_to_parameters",
+    "parameter_shapes",
+    "vector_nbytes",
+    "split_vector",
+    "WIRE_BYTES_PER_PARAM",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_state",
+    "Scheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+]

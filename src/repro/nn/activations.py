@@ -1,0 +1,104 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "Softmax", "LeakyReLU"]
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = F.sigmoid(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._out * (1.0 - self._out)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._out**2)
+
+
+class Softmax(Module):
+    """Softmax over the last axis.
+
+    Prefer :class:`repro.nn.losses.SoftmaxCrossEntropy` for training — it
+    fuses softmax with the cross-entropy loss for a simpler and more stable
+    gradient. This standalone layer exists for inference-time probability
+    outputs (the paper's classifier ends in a softmax layer).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = F.softmax(x, axis=-1)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        s = self._out
+        dot = np.sum(grad_output * s, axis=-1, keepdims=True)
+        return s * (grad_output - dot)

@@ -1,0 +1,56 @@
+"""Model checkpointing: save/load parameter state to ``.npz`` files.
+
+Long federated experiments benefit from persisting the global model (and
+client CVAEs) — e.g. to warm-start a follow-up run, to audit a converged
+model offline, or to ship a trained decoder between processes without
+re-training.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model: Module, path: str | pathlib.Path, **metadata) -> None:
+    """Write a model's state dict (plus optional scalar metadata) to ``path``.
+
+    Metadata values must be representable as numpy scalars/strings; they
+    round-trip through :func:`load_checkpoint`'s second return value.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    meta_items = np.array(
+        [f"{k}={v}" for k, v in sorted(metadata.items())], dtype=np.str_
+    )
+    np.savez(path, **state, **{_META_KEY: meta_items})
+
+
+def load_state(path: str | pathlib.Path) -> tuple[dict, dict]:
+    """Read ``(state_dict, metadata)`` from a checkpoint file."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")  # np.savez appends .npz
+    with np.load(path, allow_pickle=False) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        metadata = {}
+        if _META_KEY in archive.files:
+            for item in archive[_META_KEY]:
+                key, _, value = str(item).partition("=")
+                metadata[key] = value
+    return state, metadata
+
+
+def load_checkpoint(model: Module, path: str | pathlib.Path) -> dict:
+    """Load a checkpoint into ``model`` (shape-checked); returns metadata."""
+    state, metadata = load_state(path)
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,178 @@
+"""Low-level vectorized tensor operations used by the layer implementations.
+
+Everything in this module is a pure function on :class:`numpy.ndarray`
+inputs. Layers in :mod:`repro.nn.layers` compose these primitives and add
+parameter/state management on top.
+
+The convolution primitives follow the classic im2col/col2im scheme: a
+(batch, channels, H, W) tensor is unfolded into a matrix of receptive-field
+columns so that the convolution itself becomes a single BLAS ``matmul`` —
+per the HPC guidance, there are no per-sample or per-pixel Python loops
+anywhere in the forward or backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col_indices",
+    "im2col",
+    "col2im",
+    "softmax",
+    "log_softmax",
+    "sigmoid",
+    "one_hot",
+    "relu",
+]
+
+
+def im2col_indices(
+    x_shape: tuple[int, int, int, int],
+    field_height: int,
+    field_width: int,
+    padding: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the (k, i, j) gather indices for an im2col unfold.
+
+    Parameters
+    ----------
+    x_shape:
+        Shape of the input tensor ``(N, C, H, W)``.
+    field_height, field_width:
+        Size of the convolution kernel.
+    padding:
+        Symmetric zero padding applied to both spatial dimensions.
+    stride:
+        Convolution stride (same for both spatial dimensions).
+
+    Returns
+    -------
+    (k, i, j):
+        Index arrays such that ``x_padded[:, k, i, j]`` yields the unfolded
+        receptive fields with shape ``(N, C*fh*fw, out_h*out_w)``.
+    """
+    _, channels, height, width = x_shape
+    out_height = (height + 2 * padding - field_height) // stride + 1
+    out_width = (width + 2 * padding - field_width) // stride + 1
+    if out_height <= 0 or out_width <= 0:
+        raise ValueError(
+            f"im2col produced non-positive output size for input {x_shape} "
+            f"with kernel ({field_height}, {field_width}), padding {padding}, "
+            f"stride {stride}"
+        )
+
+    i0 = np.repeat(np.arange(field_height), field_width)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_height), out_width)
+    j0 = np.tile(np.arange(field_width), field_height * channels)
+    j1 = stride * np.tile(np.arange(out_width), out_height)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), field_height * field_width).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    x: np.ndarray,
+    field_height: int,
+    field_width: int,
+    padding: int = 0,
+    stride: int = 1,
+) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into columns.
+
+    Returns an array of shape ``(C*fh*fw, N*out_h*out_w)`` whose columns are
+    flattened receptive fields, ready to be multiplied by a flattened
+    weight matrix.
+    """
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    k, i, j = im2col_indices(
+        (x.shape[0], x.shape[1], x.shape[2] - 2 * padding, x.shape[3] - 2 * padding)
+        if padding > 0
+        else x.shape,
+        field_height,
+        field_width,
+        padding,
+        stride,
+    )
+    cols = x[:, k, i, j]  # (N, C*fh*fw, out_h*out_w)
+    channels = x.shape[1]
+    # Column ordering is (batch, location): column index = n * L + l. The
+    # conv layer's output reshape relies on this exact layout.
+    cols = cols.transpose(1, 0, 2).reshape(field_height * field_width * channels, -1)
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    field_height: int,
+    field_width: int,
+    padding: int = 0,
+    stride: int = 1,
+) -> np.ndarray:
+    """Fold columns back into an image tensor, accumulating overlaps.
+
+    This is the adjoint of :func:`im2col` and is used to propagate gradients
+    through the unfold.
+    """
+    batch, channels, height, width = x_shape
+    h_padded, w_padded = height + 2 * padding, width + 2 * padding
+    x_padded = np.zeros((batch, channels, h_padded, w_padded), dtype=cols.dtype)
+    k, i, j = im2col_indices(x_shape, field_height, field_width, padding, stride)
+    cols_reshaped = cols.reshape(channels * field_height * field_width, batch, -1)
+    cols_reshaped = cols_reshaped.transpose(1, 0, 2)
+    # np.add.at accumulates contributions from overlapping receptive fields.
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable elementwise logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype, copy=False)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Encode integer ``labels`` of shape (N,) as a (N, num_classes) matrix."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

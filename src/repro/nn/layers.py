@@ -1,0 +1,202 @@
+"""Trainable and structural layers: Linear, Conv2d, MaxPool2d, Flatten, Dropout.
+
+Every layer implements the ``forward``/``backward`` contract of
+:class:`repro.nn.module.Module`. Forward passes cache the minimum needed for
+the backward pass; backward passes accumulate parameter gradients (``+=``)
+so that gradient accumulation across micro-batches works naturally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Conv2d", "MaxPool2d", "Flatten", "Dropout"]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W.T + b``.
+
+    Parameters are stored in (out_features, in_features) layout to match
+    PyTorch conventions, which makes the paper's parameter-count tables
+    directly checkable.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(init.uniform_fan_in((out_features,), in_features, rng))
+        self._cache_input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Linear expects (N, {self.in_features}), got shape {x.shape}")
+        self._cache_input = x
+        out = x @ self.weight.data.T
+        if self.has_bias:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._cache_input
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad_output.T @ x
+        if self.has_bias:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) tensors via im2col + GEMM."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng))
+        self.has_bias = bias
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            self.bias = Parameter(init.uniform_fan_in((out_channels,), fan_in, rng))
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (N, {self.in_channels}, H, W), got shape {x.shape}"
+            )
+        n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        cols = F.im2col(x, k, k, padding=p, stride=s)  # (C*k*k, N*out_h*out_w)
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        out = w_flat @ cols  # (out_channels, N*out_h*out_w)
+        out = out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+        if self.has_bias:
+            out += self.bias.data[None, :, None, None]
+        self._cache = (x.shape, cols)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, cols = self._cache
+        k, s, p = self.kernel_size, self.stride, self.padding
+        grad = grad_output.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
+        self.weight.grad += (grad @ cols.T).reshape(self.weight.data.shape)
+        if self.has_bias:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        dcols = w_flat.T @ grad  # (C*k*k, N*out_h*out_w)
+        return F.col2im(dcols, x_shape, k, k, padding=p, stride=s)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling with ``kernel_size == stride``.
+
+    Implemented by reshaping into pooling windows — the fastest pure-NumPy
+    route when windows do not overlap, which is all the paper's
+    architecture needs (2×2/2).
+    """
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k or w % k:
+            raise ValueError(
+                f"MaxPool2d({k}) requires spatial dims divisible by {k}, got {h}x{w}"
+            )
+        reshaped = x.reshape(n, c, h // k, k, w // k, k)
+        out = reshaped.max(axis=(3, 5))
+        # Mask of argmax positions for routing gradients. Ties route the
+        # gradient to every maximal element, matching subgradient semantics.
+        mask = reshaped == out[:, :, :, None, :, None]
+        self._cache = (x.shape, mask)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, mask = self._cache
+        n, c, h, w = x_shape
+        k = self.kernel_size
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        grad = (mask / counts) * grad_output[:, :, :, None, :, None]
+        return grad.reshape(n, c, h, w)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._shape)
+
+
+class Dropout(Module):
+    """Inverted dropout. Identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

@@ -1,0 +1,79 @@
+"""Learning-rate schedules for the optimizers.
+
+Local federated training is short (5 epochs), but centralized baselines,
+CVAE training, and the Spectral/PDGAN pre-training phases benefit from
+decay schedules. Schedulers mutate ``optimizer.lr`` in place; call
+:meth:`step` once per epoch (or per round, for server-side use).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepLR", "CosineAnnealingLR", "ExponentialLR"]
+
+
+class Scheduler:
+    """Base class storing the initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.steps_taken = 0
+
+    def compute_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one period and apply the new rate; returns it."""
+        self.steps_taken += 1
+        self.optimizer.lr = self.compute_lr()
+        return self.optimizer.lr
+
+
+class StepLR(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` periods."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.steps_taken // self.step_size)
+
+
+class ExponentialLR(Scheduler):
+    """Multiply the rate by ``gamma`` every period."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def compute_lr(self) -> float:
+        return self.base_lr * self.gamma**self.steps_taken
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` periods."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def compute_lr(self) -> float:
+        progress = min(self.steps_taken, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )

@@ -1,0 +1,101 @@
+"""Backdoor attack tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BackdoorAttack, apply_trigger, backdoor_success_rate
+from repro.data import Dataset, SynthMnistConfig, generate_dataset
+
+
+class TestApplyTrigger:
+    def test_patch_placed_bottom_right(self, rng):
+        features = np.zeros((2, 64))
+        out = apply_trigger(features, image_size=8, patch_size=3)
+        images = out.reshape(2, 8, 8)
+        assert (images[:, -3:, -3:] == 1.0).all()
+        assert images[:, :5, :5].sum() == 0.0
+
+    def test_input_not_mutated(self, rng):
+        features = np.zeros((1, 64))
+        apply_trigger(features, image_size=8)
+        assert features.sum() == 0.0
+
+    def test_custom_value(self):
+        out = apply_trigger(np.zeros((1, 64)), image_size=8, patch_size=2, value=0.5)
+        assert out.max() == 0.5
+
+
+class TestBackdoorAttack:
+    def make_ds(self, rng, n=40):
+        return generate_dataset(n, rng, SynthMnistConfig(image_size=8))
+
+    def test_poisons_requested_fraction(self, rng):
+        ds = self.make_ds(rng)
+        attack = BackdoorAttack(image_size=8, target_class=0, poison_fraction=0.5)
+        poisoned = attack.apply(ds, rng)
+        changed = (poisoned.labels != ds.labels) | (
+            (poisoned.features != ds.features).any(axis=1)
+        )
+        assert changed.sum() == 20
+
+    def test_poisoned_samples_carry_trigger_and_target(self, rng):
+        ds = self.make_ds(rng)
+        attack = BackdoorAttack(image_size=8, target_class=3, poison_fraction=0.25)
+        poisoned = attack.apply(ds, rng)
+        stamped = (poisoned.features != ds.features).any(axis=1)
+        assert (poisoned.labels[stamped] == 3).all()
+        images = poisoned.features[stamped].reshape(-1, 8, 8)
+        assert (images[:, -3:, -3:] == 1.0).all()
+
+    def test_original_untouched(self, rng):
+        ds = self.make_ds(rng)
+        before = ds.features.copy()
+        BackdoorAttack(image_size=8).apply(ds, rng)
+        np.testing.assert_array_equal(ds.features, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackdoorAttack(image_size=8, poison_fraction=0.0)
+        with pytest.raises(ValueError):
+            BackdoorAttack(image_size=8, patch_size=8)
+
+
+class TestBackdoorSuccessRate:
+    def test_always_target_model_scores_one(self, rng):
+        ds = generate_dataset(30, rng, SynthMnistConfig(image_size=8))
+        attack = BackdoorAttack(image_size=8, target_class=0)
+
+        class AlwaysTarget:
+            def predict(self, x):
+                return np.zeros(len(x), dtype=np.int64)
+
+        assert backdoor_success_rate(AlwaysTarget(), ds, attack) == 1.0
+
+    def test_never_target_model_scores_zero(self, rng):
+        ds = generate_dataset(30, rng, SynthMnistConfig(image_size=8))
+        attack = BackdoorAttack(image_size=8, target_class=0)
+
+        class NeverTarget:
+            def predict(self, x):
+                return np.ones(len(x), dtype=np.int64)
+
+        assert backdoor_success_rate(NeverTarget(), ds, attack) == 0.0
+
+    def test_trained_backdoor_actually_works(self, rng):
+        """Train a classifier on heavily backdoored data: triggered inputs
+        must flip to the target while clean accuracy stays sane."""
+        from repro import nn
+        from repro.fl.client import train_classifier
+        from repro.models import MLPClassifier
+
+        clean = generate_dataset(600, rng, SynthMnistConfig(image_size=8))
+        test = generate_dataset(150, rng, SynthMnistConfig(image_size=8))
+        attack = BackdoorAttack(image_size=8, target_class=0, poison_fraction=0.3)
+        poisoned = attack.apply(clean, rng)
+        model = MLPClassifier(64, hidden=48, rng=rng)
+        train_classifier(model, poisoned, epochs=20, lr=0.1, batch_size=32,
+                         rng=rng, momentum=0.9)
+        clean_acc = np.mean(model.predict(test.features) == test.labels)
+        success = backdoor_success_rate(model, test, attack)
+        assert clean_acc > 0.6     # main task mostly intact
+        assert success > 0.8       # trigger reliably flips predictions

@@ -1,0 +1,89 @@
+"""Composite (data + model) attack tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BackdoorAttack,
+    CompositeAttack,
+    LabelFlippingAttack,
+    ScalingAttack,
+    SignFlippingAttack,
+)
+from repro.config import FederationConfig
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.fl import FLClient
+from repro.models import build_classifier
+from repro import nn
+
+
+def boosted_backdoor(image_size=8, gamma=5.0):
+    return CompositeAttack(
+        BackdoorAttack(image_size=image_size, target_class=0, poison_fraction=0.4),
+        ScalingAttack(gamma=gamma),
+    )
+
+
+class TestDispatch:
+    def test_dataset_goes_to_data_stage(self, rng):
+        ds = generate_dataset(20, rng, SynthMnistConfig(image_size=8))
+        attack = CompositeAttack(LabelFlippingAttack(), SignFlippingAttack())
+        poisoned = attack.apply(ds, rng)
+        # the data stage ran (labels flipped where applicable)
+        assert hasattr(poisoned, "labels")
+
+    def test_vector_goes_to_model_stage(self, rng):
+        attack = CompositeAttack(LabelFlippingAttack(), SignFlippingAttack())
+        w = rng.standard_normal(10)
+        np.testing.assert_array_equal(attack.apply(w, rng), -w)
+
+    def test_name_combines_stages(self):
+        attack = boosted_backdoor()
+        assert attack.name == "backdoor+scaling"
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            CompositeAttack(SignFlippingAttack(), SignFlippingAttack())
+        with pytest.raises(TypeError):
+            CompositeAttack(LabelFlippingAttack(), LabelFlippingAttack())
+
+
+class TestHookForwarding:
+    def test_bind_global_reaches_model_stage(self, rng):
+        attack = boosted_backdoor(gamma=3.0)
+        global_w = rng.standard_normal(6)
+        attack.bind_global(global_w)
+        honest = global_w + np.ones(6)
+        poisoned = attack.apply(honest, rng)
+        np.testing.assert_allclose(poisoned - global_w, 3.0 * np.ones(6))
+
+    def test_absent_hooks_raise_attribute_error(self):
+        attack = boosted_backdoor()
+        with pytest.raises(AttributeError):
+            attack.nonexistent_hook
+        # the probe pattern used by the client must yield None
+        assert getattr(attack, "poison_cvae_data", None) is None
+
+
+class TestClientIntegration:
+    def test_both_stages_applied_in_fit(self, rng):
+        config = FederationConfig.tiny()
+        ds = generate_dataset(40, rng, SynthMnistConfig(image_size=8))
+        attack = boosted_backdoor(gamma=4.0)
+        evil = FLClient(0, ds, config, np.random.default_rng(7), attack=attack)
+        honest = FLClient(0, ds, config, np.random.default_rng(7))
+
+        # data stage: the evil client's local data carries the trigger
+        images = evil.dataset.features.reshape(-1, 8, 8)
+        assert (images[:, -3:, -3:] == 1.0).all(axis=(1, 2)).sum() >= 16
+
+        # model stage: the uploaded delta is gamma times some honest delta
+        global_w = nn.parameters_to_vector(
+            build_classifier(config.model, np.random.default_rng(0))
+        )
+        update = evil.fit(global_w, include_decoder=False)
+        benign_update = honest.fit(global_w, include_decoder=False)
+        evil_norm = np.linalg.norm(update.weights - global_w)
+        benign_norm = np.linalg.norm(benign_update.weights - global_w)
+        assert evil_norm > 2.0 * benign_norm
+        assert update.malicious

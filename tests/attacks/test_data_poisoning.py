@@ -1,0 +1,62 @@
+"""Label-flipping attack tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PAPER_FLIP_PAIRS, LabelFlippingAttack
+from repro.data import Dataset
+
+
+class TestLabelFlipping:
+    def test_paper_pairs(self):
+        attack = LabelFlippingAttack()
+        assert attack.pairs == ((5, 7), (4, 2))
+        labels = np.array([5, 7, 4, 2, 0, 9])
+        np.testing.assert_array_equal(
+            attack.flip_labels(labels), [7, 5, 2, 4, 0, 9]
+        )
+
+    def test_flip_is_involution(self, rng):
+        attack = LabelFlippingAttack()
+        labels = rng.integers(0, 10, 100)
+        np.testing.assert_array_equal(
+            attack.flip_labels(attack.flip_labels(labels)), labels
+        )
+
+    def test_untouched_classes_preserved(self, rng):
+        attack = LabelFlippingAttack()
+        labels = rng.integers(0, 10, 200)
+        flipped = attack.flip_labels(labels)
+        affected = set(attack.affected_classes)
+        for original, new in zip(labels, flipped):
+            if original not in affected:
+                assert original == new
+
+    def test_apply_returns_new_dataset(self, rng):
+        features = rng.random((6, 4))
+        labels = np.array([5, 7, 4, 2, 0, 1])
+        ds = Dataset(features, labels, num_classes=10)
+        poisoned = LabelFlippingAttack().apply(ds, rng)
+        np.testing.assert_array_equal(poisoned.labels, [7, 5, 2, 4, 0, 1])
+        np.testing.assert_array_equal(ds.labels, labels)  # original intact
+        np.testing.assert_array_equal(poisoned.features, features)
+
+    def test_custom_pairs(self):
+        attack = LabelFlippingAttack(pairs=((0, 1),))
+        np.testing.assert_array_equal(
+            attack.flip_labels(np.array([0, 1, 2])), [1, 0, 2]
+        )
+
+    def test_degenerate_pair_rejected(self):
+        with pytest.raises(ValueError):
+            LabelFlippingAttack(pairs=((3, 3),))
+
+    def test_overlapping_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            LabelFlippingAttack(pairs=((1, 2), (2, 3)))
+
+    def test_affected_classes(self):
+        assert LabelFlippingAttack().affected_classes == (2, 4, 5, 7)
+
+    def test_paper_constant_matches_paper(self):
+        assert PAPER_FLIP_PAIRS == ((5, 7), (4, 2))

@@ -1,0 +1,72 @@
+"""Decoder-poisoning attack tests (§VI-B's audit-channel adversary)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import DecoderPoisoningAttack
+from repro.config import FederationConfig
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.fl import FLClient
+from repro.models import build_classifier
+from repro import nn
+
+
+@pytest.fixture
+def dataset(rng):
+    return generate_dataset(60, rng, SynthMnistConfig(image_size=8))
+
+
+class TestLabelCorruption:
+    def test_flip_mode_uses_paper_pairs(self, dataset, rng):
+        attack = DecoderPoisoningAttack(mode="flip")
+        poisoned = attack.poison_cvae_data(dataset, rng)
+        mask = np.isin(dataset.labels, [5, 7, 4, 2])
+        assert (poisoned.labels[mask] != dataset.labels[mask]).all()
+        assert (poisoned.labels[~mask] == dataset.labels[~mask]).all()
+
+    def test_shuffle_mode_derangement(self, dataset, rng):
+        attack = DecoderPoisoningAttack(mode="shuffle")
+        poisoned = attack.poison_cvae_data(dataset, rng)
+        # every sample's conditioning label is wrong
+        assert (poisoned.labels != dataset.labels).all()
+
+    def test_shuffle_is_consistent_across_colluders(self, dataset):
+        a = DecoderPoisoningAttack(mode="shuffle", seed=5)
+        b = DecoderPoisoningAttack(mode="shuffle", seed=5)
+        pa = a.poison_cvae_data(dataset, np.random.default_rng(1))
+        pb = b.poison_cvae_data(dataset, np.random.default_rng(2))
+        np.testing.assert_array_equal(pa.labels, pb.labels)
+
+    def test_features_untouched(self, dataset, rng):
+        poisoned = DecoderPoisoningAttack().poison_cvae_data(dataset, rng)
+        np.testing.assert_array_equal(poisoned.features, dataset.features)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            DecoderPoisoningAttack(mode="invert")
+
+
+class TestClientPipeline:
+    def test_classifier_honest_decoder_poisoned(self, dataset):
+        """The signature property: classifier update identical to a benign
+        client's, decoder different."""
+        config = FederationConfig.tiny(cvae_epochs=3)
+        benign = FLClient(0, dataset, config, np.random.default_rng(7))
+        evil = FLClient(0, dataset, config, np.random.default_rng(7),
+                        attack=DecoderPoisoningAttack(mode="shuffle"))
+        global_w = nn.parameters_to_vector(
+            build_classifier(config.model, np.random.default_rng(0))
+        )
+        benign_update = benign.fit(global_w, include_decoder=True)
+        evil_update = evil.fit(global_w, include_decoder=True)
+        np.testing.assert_allclose(benign_update.weights, evil_update.weights)
+        assert not np.allclose(
+            benign_update.decoder_weights, evil_update.decoder_weights
+        )
+        assert evil_update.malicious
+
+    def test_local_training_data_stays_clean(self, dataset):
+        config = FederationConfig.tiny()
+        evil = FLClient(0, dataset, config, np.random.default_rng(0),
+                        attack=DecoderPoisoningAttack())
+        np.testing.assert_array_equal(evil.dataset.labels, dataset.labels)

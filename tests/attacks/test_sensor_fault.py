@@ -1,0 +1,79 @@
+"""Sensor-fault corruption tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SensorFaultAttack
+from repro.data import SynthMnistConfig, generate_dataset
+
+
+@pytest.fixture
+def dataset(rng):
+    return generate_dataset(30, rng, SynthMnistConfig(image_size=8))
+
+
+class TestModes:
+    def test_noise_perturbs_everything(self, dataset, rng):
+        faulty = SensorFaultAttack(mode="noise", severity=0.5).apply(dataset, rng)
+        assert not np.allclose(faulty.features, dataset.features)
+        assert faulty.features.min() >= 0.0 and faulty.features.max() <= 1.0
+
+    def test_dead_pixels_zeroed(self, dataset, rng):
+        faulty = SensorFaultAttack(mode="dead", severity=0.25).apply(dataset, rng)
+        dead_cols = (faulty.features == 0.0).all(axis=0)
+        assert dead_cols.sum() >= int(64 * 0.25)
+
+    def test_stuck_pixels_saturated(self, dataset, rng):
+        faulty = SensorFaultAttack(mode="stuck", severity=0.25).apply(dataset, rng)
+        stuck_cols = (faulty.features == 1.0).all(axis=0)
+        assert stuck_cols.sum() >= 1
+
+    def test_stuck_block_contiguous_with_image_size(self, dataset, rng):
+        faulty = SensorFaultAttack(mode="stuck", severity=0.25, image_size=8).apply(
+            dataset, rng
+        )
+        images = faulty.features.reshape(-1, 8, 8)
+        side = int(np.sqrt(64 * 0.25))
+        assert (images[:, :side, :side] == 1.0).all()
+
+    def test_labels_untouched(self, dataset, rng):
+        faulty = SensorFaultAttack(mode="noise", severity=1.0).apply(dataset, rng)
+        np.testing.assert_array_equal(faulty.labels, dataset.labels)
+
+    def test_original_untouched(self, dataset, rng):
+        before = dataset.features.copy()
+        SensorFaultAttack(mode="dead", severity=0.5).apply(dataset, rng)
+        np.testing.assert_array_equal(dataset.features, before)
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            SensorFaultAttack(mode="cosmic_rays")
+
+    def test_severity_bounds(self):
+        with pytest.raises(ValueError):
+            SensorFaultAttack(mode="noise", severity=0.0)
+        with pytest.raises(ValueError):
+            SensorFaultAttack(mode="dead", severity=1.5)
+        SensorFaultAttack(mode="noise", severity=5.0)  # noise sigma may exceed 1
+
+
+class TestDegradesTraining:
+    def test_faulty_client_underperforms(self, rng):
+        """The property the detection application relies on: a model
+        trained on corrupted data scores worse on clean data."""
+        from repro.fl.client import train_classifier
+        from repro.models import MLPClassifier
+
+        clean = generate_dataset(400, rng, SynthMnistConfig(image_size=8))
+        test = generate_dataset(120, rng, SynthMnistConfig(image_size=8))
+        faulty_data = SensorFaultAttack(mode="noise", severity=0.8).apply(clean, rng)
+
+        def train_on(data, seed):
+            model = MLPClassifier(64, hidden=32, rng=np.random.default_rng(seed))
+            train_classifier(model, data, epochs=10, lr=0.1, batch_size=32,
+                             rng=np.random.default_rng(seed), momentum=0.9)
+            return np.mean(model.predict(test.features) == test.labels)
+
+        assert train_on(faulty_data, 1) < train_on(clean, 1) - 0.15

@@ -1,0 +1,98 @@
+"""Dataset container tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+
+
+def make_dataset(n=20, dim=4, num_classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.random((n, dim)), rng.integers(0, num_classes, n),
+                   num_classes=num_classes)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = make_dataset()
+        assert len(ds) == 20
+        assert ds.dim == 4
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), num_classes=2)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), num_classes=3)
+
+    def test_rejects_non_2d_features(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros(6), np.zeros(6, dtype=int), num_classes=2)
+
+
+class TestSubset:
+    def test_selects_rows(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features[1], ds.features[5])
+
+    def test_is_independent_copy(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([0]))
+        sub.features[...] = -1.0
+        assert not (ds.features[0] == -1.0).any()
+
+
+class TestWithLabels:
+    def test_swaps_labels_only(self):
+        ds = make_dataset()
+        new_labels = (ds.labels + 1) % ds.num_classes
+        flipped = ds.with_labels(new_labels)
+        np.testing.assert_array_equal(flipped.labels, new_labels)
+        np.testing.assert_array_equal(flipped.features, ds.features)
+
+
+class TestClassCounts:
+    def test_histogram(self):
+        ds = Dataset(np.zeros((4, 2)), np.array([0, 0, 2, 1]), num_classes=3)
+        np.testing.assert_array_equal(ds.class_counts(), [2, 1, 1])
+
+    def test_classes_present(self):
+        ds = Dataset(np.zeros((3, 2)), np.array([0, 0, 2]), num_classes=4)
+        np.testing.assert_array_equal(ds.classes_present(), [0, 2])
+
+
+class TestBatches:
+    def test_covers_all_samples(self):
+        ds = make_dataset(n=17)
+        seen = sum(len(y) for _, y in ds.batches(5))
+        assert seen == 17
+
+    def test_drop_last(self):
+        ds = make_dataset(n=17)
+        sizes = [len(y) for _, y in ds.batches(5, drop_last=True)]
+        assert sizes == [5, 5, 5]
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset(n=32)
+        plain = np.concatenate([y for _, y in ds.batches(8)])
+        shuffled = np.concatenate(
+            [y for _, y in ds.batches(8, rng=np.random.default_rng(1))]
+        )
+        np.testing.assert_array_equal(plain, ds.labels)
+        assert not np.array_equal(plain, shuffled)
+        np.testing.assert_array_equal(np.sort(plain), np.sort(shuffled))
+
+    def test_batch_pairs_consistent(self):
+        """Features and labels must stay aligned through shuffling."""
+        ds = make_dataset(n=16)
+        lookup = {tuple(f): l for f, l in zip(ds.features, ds.labels)}
+        for feats, labels in ds.batches(4, rng=np.random.default_rng(0)):
+            for f, l in zip(feats, labels):
+                assert lookup[tuple(f)] == l
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(make_dataset().batches(0))

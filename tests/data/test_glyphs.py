@@ -1,0 +1,42 @@
+"""Glyph table tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import DIGIT_GLYPHS, glyph_array
+from repro.data.glyphs import GLYPH_HEIGHT, GLYPH_WIDTH, NUM_CLASSES
+
+
+class TestGlyphs:
+    def test_all_ten_digits_defined(self):
+        assert sorted(DIGIT_GLYPHS) == list(range(10))
+        assert NUM_CLASSES == 10
+
+    def test_shapes_and_values_binary(self):
+        for digit, glyph in DIGIT_GLYPHS.items():
+            assert glyph.shape == (GLYPH_HEIGHT, GLYPH_WIDTH), digit
+            assert set(np.unique(glyph)) <= {0.0, 1.0}
+
+    def test_glyphs_are_distinct(self):
+        flat = [tuple(g.ravel()) for g in DIGIT_GLYPHS.values()]
+        assert len(set(flat)) == 10
+
+    def test_every_glyph_nonempty(self):
+        for digit, glyph in DIGIT_GLYPHS.items():
+            assert glyph.sum() >= 7, f"digit {digit} looks too sparse"
+
+    def test_glyph_array_returns_copy(self):
+        a = glyph_array(3)
+        a[...] = 0
+        assert DIGIT_GLYPHS[3].sum() > 0
+
+    def test_unknown_digit_raises(self):
+        with pytest.raises(KeyError):
+            glyph_array(10)
+
+    def test_attack_target_pairs_differ_substantially(self):
+        """The label-flip pairs (5,7) and (4,2) must be visually distinct
+        for the targeted attack to actually damage the model."""
+        for a, b in [(5, 7), (4, 2)]:
+            diff = np.abs(DIGIT_GLYPHS[a] - DIGIT_GLYPHS[b]).sum()
+            assert diff >= 8

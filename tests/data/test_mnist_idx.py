@@ -1,0 +1,79 @@
+"""IDX loader tests, using synthetic IDX fixtures written to disk."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.data.mnist_idx import load_mnist, read_idx, write_idx
+
+
+@pytest.fixture
+def idx_pair(tmp_path, rng):
+    images = rng.integers(0, 256, size=(12, 28, 28), dtype=np.uint8)
+    labels = rng.integers(0, 10, size=12, dtype=np.uint8)
+    img_path = tmp_path / "images-idx3-ubyte"
+    lbl_path = tmp_path / "labels-idx1-ubyte"
+    write_idx(images, img_path)
+    write_idx(labels, lbl_path)
+    return images, labels, img_path, lbl_path
+
+
+class TestReadWriteIdx:
+    def test_roundtrip(self, idx_pair):
+        images, labels, img_path, lbl_path = idx_pair
+        np.testing.assert_array_equal(read_idx(img_path), images)
+        np.testing.assert_array_equal(read_idx(lbl_path), labels)
+
+    def test_gzip_transparent(self, tmp_path, rng):
+        data = rng.integers(0, 256, size=(3, 4, 4), dtype=np.uint8)
+        plain = tmp_path / "x-idx3-ubyte"
+        write_idx(data, plain)
+        gz = tmp_path / "x-idx3-ubyte.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        np.testing.assert_array_equal(read_idx(gz), data)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"\x12\x34\x56\x78" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="magic"):
+            read_idx(path)
+
+    def test_truncated_payload_rejected(self, idx_pair, tmp_path):
+        _, _, img_path, _ = idx_pair
+        truncated = tmp_path / "short"
+        truncated.write_bytes(img_path.read_bytes()[:-10])
+        with pytest.raises(ValueError, match="payload"):
+            read_idx(truncated)
+
+
+class TestLoadMnist:
+    def test_dataset_fields(self, idx_pair):
+        images, labels, img_path, lbl_path = idx_pair
+        ds = load_mnist(img_path, lbl_path)
+        assert len(ds) == 12
+        assert ds.dim == 784
+        assert ds.image_size == 28
+        np.testing.assert_array_equal(ds.labels, labels)
+
+    def test_pixels_scaled_to_unit_interval(self, idx_pair):
+        _, _, img_path, lbl_path = idx_pair
+        ds = load_mnist(img_path, lbl_path)
+        assert ds.features.min() >= 0.0 and ds.features.max() <= 1.0
+
+    def test_count_mismatch_rejected(self, idx_pair, tmp_path, rng):
+        _, _, img_path, _ = idx_pair
+        short_labels = tmp_path / "short-labels"
+        write_idx(rng.integers(0, 10, size=5, dtype=np.uint8), short_labels)
+        with pytest.raises(ValueError, match="mismatch"):
+            load_mnist(img_path, short_labels)
+
+    def test_feeds_the_paper_classifier(self, idx_pair):
+        """The loaded 28×28 data flows straight into the Table II CNN."""
+        from repro.models import mnist_cnn
+
+        _, _, img_path, lbl_path = idx_pair
+        ds = load_mnist(img_path, lbl_path)
+        model = mnist_cnn(np.random.default_rng(0))
+        logits = model(ds.features[:2])
+        assert logits.shape == (2, 10)

@@ -1,0 +1,113 @@
+"""Partitioner tests: coverage, disjointness, heterogeneity control."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    partition_dataset,
+    pathological_partition,
+)
+
+
+def balanced_labels(n_per_class=60, num_classes=10):
+    return np.repeat(np.arange(num_classes), n_per_class)
+
+
+def assert_valid_partition(parts, n_total):
+    all_idx = np.concatenate(parts)
+    assert len(all_idx) == n_total, "partition must cover every sample once"
+    assert len(np.unique(all_idx)) == n_total, "partitions must be disjoint"
+
+
+class TestDirichlet:
+    def test_covers_and_disjoint(self, rng):
+        labels = balanced_labels()
+        parts = dirichlet_partition(labels, 10, alpha=10.0, rng=rng)
+        assert len(parts) == 10
+        assert_valid_partition(parts, len(labels))
+
+    def test_min_samples_guaranteed(self, rng):
+        labels = balanced_labels()
+        parts = dirichlet_partition(labels, 20, alpha=0.05, rng=rng, min_samples=5)
+        assert all(len(p) >= 5 for p in parts)
+
+    def test_small_alpha_more_heterogeneous(self):
+        """Lower α must concentrate each client on fewer classes (measured
+        by the mean per-client label entropy)."""
+        labels = balanced_labels(n_per_class=200)
+
+        def mean_entropy(alpha, seed):
+            parts = dirichlet_partition(labels, 10, alpha, np.random.default_rng(seed))
+            ents = []
+            for p in parts:
+                counts = np.bincount(labels[p], minlength=10)
+                probs = counts / counts.sum()
+                nz = probs[probs > 0]
+                ents.append(-(nz * np.log(nz)).sum())
+            return np.mean(ents)
+
+        assert mean_entropy(0.1, 0) < mean_entropy(100.0, 0) - 0.3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(balanced_labels(), 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            dirichlet_partition(balanced_labels(), 5, 0.0, rng)
+
+    def test_too_many_clients_raises(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(4, dtype=int), 10, 1.0, rng, min_samples=2)
+
+
+class TestIID:
+    def test_equal_sizes(self, rng):
+        parts = iid_partition(balanced_labels(), 6, rng)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        assert_valid_partition(parts, 600)
+
+    def test_label_distribution_roughly_uniform(self, rng):
+        labels = balanced_labels(n_per_class=100)
+        parts = iid_partition(labels, 4, rng)
+        for p in parts:
+            counts = np.bincount(labels[p], minlength=10)
+            assert counts.min() > 10
+
+
+class TestPathological:
+    def test_each_client_sees_few_classes(self, rng):
+        labels = balanced_labels(n_per_class=100)
+        parts = pathological_partition(labels, 10, classes_per_client=2, rng=rng)
+        assert_valid_partition(parts, 1000)
+        for p in parts:
+            assert len(np.unique(labels[p])) <= 3  # two shards can straddle a class edge
+
+    def test_too_many_shards_raises(self, rng):
+        with pytest.raises(ValueError):
+            pathological_partition(np.zeros(5, dtype=int), 10, 2, rng)
+
+
+class TestPartitionDataset:
+    def make_ds(self):
+        labels = balanced_labels(n_per_class=30)
+        rng = np.random.default_rng(0)
+        return Dataset(rng.random((len(labels), 4)), labels, num_classes=10)
+
+    @pytest.mark.parametrize("scheme", ["dirichlet", "iid", "pathological"])
+    def test_schemes_produce_datasets(self, rng, scheme):
+        parts = partition_dataset(self.make_ds(), 5, rng, scheme=scheme)
+        assert len(parts) == 5
+        assert sum(len(p) for p in parts) == 300
+
+    def test_unknown_scheme(self, rng):
+        with pytest.raises(ValueError):
+            partition_dataset(self.make_ds(), 5, rng, scheme="quantum")
+
+    def test_partitions_are_independent(self, rng):
+        ds = self.make_ds()
+        parts = partition_dataset(ds, 3, rng)
+        parts[0].features[...] = -7.0
+        assert not (ds.features == -7.0).any()

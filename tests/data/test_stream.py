@@ -1,0 +1,80 @@
+"""Data stream tests (dynamic-dataset setting, §VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SynthMnistConfig
+from repro.data.stream import SynthMnistStream
+
+
+class TestSynthMnistStream:
+    def test_batch_shapes(self, rng):
+        stream = SynthMnistStream(rng, SynthMnistConfig(image_size=8))
+        batch = stream.next_batch(12)
+        assert len(batch) == 12
+        assert batch.dim == 64
+
+    def test_deterministic_given_seed(self):
+        cfg = SynthMnistConfig(image_size=8)
+        a = SynthMnistStream(np.random.default_rng(3), cfg).next_batch(8)
+        b = SynthMnistStream(np.random.default_rng(3), cfg).next_batch(8)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_batches_differ_over_time(self, rng):
+        stream = SynthMnistStream(rng, SynthMnistConfig(image_size=8))
+        a = stream.next_batch(8)
+        b = stream.next_batch(8)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_skewed_class_probs(self, rng):
+        probs = np.zeros(10)
+        probs[1] = 1.0
+        stream = SynthMnistStream(rng, SynthMnistConfig(image_size=8), class_probs=probs)
+        batch = stream.next_batch(20)
+        assert (batch.labels == 1).all()
+
+    def test_drift_moves_toward_uniform(self, rng):
+        probs = np.zeros(10)
+        probs[0] = 1.0
+        stream = SynthMnistStream(
+            rng, SynthMnistConfig(image_size=8), class_probs=probs, drift_per_batch=0.5
+        )
+        stream.next_batch(4)
+        stream.next_batch(4)
+        # after two 0.5-drift steps, p(class 0) = 1*0.25 + 0.75*0.1
+        assert stream.class_probs[0] == pytest.approx(0.325)
+        assert stream.class_probs.sum() == pytest.approx(1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            SynthMnistStream(rng, class_probs=np.ones(10))
+        with pytest.raises(ValueError):
+            SynthMnistStream(rng, drift_per_batch=1.5)
+        with pytest.raises(ValueError):
+            SynthMnistStream(rng).next_batch(0)
+
+
+class TestDatasetConcatTail:
+    def test_concat(self, rng):
+        a = Dataset(rng.random((3, 4)), np.array([0, 1, 2]), num_classes=5)
+        b = Dataset(rng.random((2, 4)), np.array([3, 4]), num_classes=5)
+        merged = Dataset.concat(a, b)
+        assert len(merged) == 5
+        np.testing.assert_array_equal(merged.labels, [0, 1, 2, 3, 4])
+
+    def test_concat_incompatible(self, rng):
+        a = Dataset(rng.random((2, 4)), np.array([0, 1]), num_classes=5)
+        b = Dataset(rng.random((2, 3)), np.array([0, 1]), num_classes=5)
+        with pytest.raises(ValueError):
+            Dataset.concat(a, b)
+
+    def test_tail_window(self, rng):
+        ds = Dataset(rng.random((10, 2)), np.arange(10) % 3, num_classes=3)
+        recent = ds.tail(4)
+        assert len(recent) == 4
+        np.testing.assert_array_equal(recent.features, ds.features[-4:])
+
+    def test_tail_larger_than_dataset(self, rng):
+        ds = Dataset(rng.random((3, 2)), np.zeros(3, dtype=int), num_classes=1)
+        assert ds.tail(100) is ds

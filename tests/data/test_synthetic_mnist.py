@@ -1,0 +1,103 @@
+"""SynthMNIST generator tests: determinism, ranges, learnability signal."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthMnistConfig, generate_dataset, generate_split, render_digit
+
+
+class TestRenderDigit:
+    def test_output_shape_and_range(self, rng):
+        img = render_digit(3, rng, SynthMnistConfig(image_size=16))
+        assert img.shape == (256,)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_randomization_varies_samples(self):
+        rng = np.random.default_rng(0)
+        cfg = SynthMnistConfig(image_size=16)
+        a = render_digit(3, rng, cfg)
+        b = render_digit(3, rng, cfg)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        cfg = SynthMnistConfig(image_size=16)
+        a = render_digit(3, np.random.default_rng(7), cfg)
+        b = render_digit(3, np.random.default_rng(7), cfg)
+        np.testing.assert_array_equal(a, b)
+
+    def test_digit_not_blank(self, rng):
+        for digit in range(10):
+            img = render_digit(digit, rng, SynthMnistConfig(image_size=16))
+            assert img.sum() > 1.0, f"digit {digit} rendered blank"
+
+    def test_no_noise_config(self, rng):
+        cfg = SynthMnistConfig(image_size=16, noise_sigma=0.0)
+        img = render_digit(0, rng, cfg)
+        # Without additive noise the background stays near zero (the
+        # Gaussian stroke blur spreads a faint halo, hence "near").
+        assert (img < 0.05).sum() > 50
+        assert img.min() == 0.0
+
+
+class TestGenerateDataset:
+    def test_sizes_and_types(self, rng):
+        ds = generate_dataset(50, rng, SynthMnistConfig(image_size=8))
+        assert len(ds) == 50
+        assert ds.dim == 64
+        assert ds.labels.dtype == np.int64
+        assert ds.num_classes == 10
+
+    def test_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            generate_dataset(0, rng)
+
+    def test_class_probs_respected(self, rng):
+        probs = np.zeros(10)
+        probs[3] = 1.0
+        cfg = SynthMnistConfig(image_size=8, class_probs=tuple(probs))
+        ds = generate_dataset(30, rng, cfg)
+        assert (ds.labels == 3).all()
+
+    def test_invalid_class_probs(self, rng):
+        with pytest.raises(ValueError):
+            generate_dataset(
+                10, rng, SynthMnistConfig(class_probs=(0.5, 0.5))
+            )
+
+    def test_roughly_uniform_by_default(self, rng):
+        ds = generate_dataset(2000, rng, SynthMnistConfig(image_size=8))
+        counts = ds.class_counts()
+        assert counts.min() > 120  # 200 expected per class
+
+
+class TestGenerateSplit:
+    def test_deterministic(self):
+        a_train, a_test = generate_split(40, 20, seed=5, config=SynthMnistConfig(image_size=8))
+        b_train, b_test = generate_split(40, 20, seed=5, config=SynthMnistConfig(image_size=8))
+        np.testing.assert_array_equal(a_train.features, b_train.features)
+        np.testing.assert_array_equal(a_test.features, b_test.features)
+
+    def test_train_test_differ(self):
+        train, test = generate_split(40, 40, seed=5, config=SynthMnistConfig(image_size=8))
+        assert not np.array_equal(train.features[:40], test.features[:40])
+
+    def test_seed_changes_data(self):
+        a, _ = generate_split(40, 10, seed=5, config=SynthMnistConfig(image_size=8))
+        b, _ = generate_split(40, 10, seed=6, config=SynthMnistConfig(image_size=8))
+        assert not np.array_equal(a.features, b.features)
+
+
+class TestLearnability:
+    def test_classes_are_linearly_separable_enough(self, rng):
+        """A nearest-centroid classifier fit on one draw should beat chance
+        comfortably on a second draw — the dataset must carry class signal
+        for the whole reproduction to mean anything."""
+        cfg = SynthMnistConfig(image_size=16)
+        train = generate_dataset(800, rng, cfg)
+        test = generate_dataset(200, rng, cfg)
+        centroids = np.stack([
+            train.features[train.labels == c].mean(axis=0) for c in range(10)
+        ])
+        dists = ((test.features[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        acc = (dists.argmin(axis=1) == test.labels).mean()
+        assert acc > 0.6

@@ -1,0 +1,61 @@
+"""Bulyan tests."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import Bulyan
+from repro.fl import ClientUpdate
+
+
+def updates_from(matrix):
+    return [ClientUpdate(i, row, num_samples=10) for i, row in enumerate(matrix)]
+
+
+class TestBulyan:
+    def test_benign_only_near_mean(self, rng):
+        matrix = rng.standard_normal((9, 5)) * 0.1
+        result = Bulyan(n_byzantine=1).aggregate(1, updates_from(matrix), np.zeros(5), None)
+        assert np.linalg.norm(result.weights - matrix.mean(axis=0)) < 0.5
+
+    def test_rejects_distinct_outliers(self, rng):
+        # n = 11 >= 4f + 3 with f = 2; the two attackers are far from the
+        # cluster AND from each other, so selection excludes both.
+        benign = rng.standard_normal((9, 4)) * 0.1
+        evil = np.vstack([np.full((1, 4), 100.0), np.full((1, 4), -100.0)])
+        matrix = np.vstack([benign, evil])
+        result = Bulyan(n_byzantine=2).aggregate(1, updates_from(matrix), np.zeros(4), None)
+        assert {9, 10} <= set(result.rejected_ids)
+        assert np.abs(result.weights).max() < 1.0
+
+    def test_identical_colluders_neutralized_by_trimming(self, rng):
+        """Two byte-identical colluders have mutual distance 0 and one can
+        survive Krum selection — Bulyan's trimmed-mean phase is what
+        removes their influence. The aggregate must stay with the cluster."""
+        benign = rng.standard_normal((9, 4)) * 0.1
+        evil = np.full((2, 4), 100.0)
+        matrix = np.vstack([benign, evil])
+        result = Bulyan(n_byzantine=2).aggregate(1, updates_from(matrix), np.zeros(4), None)
+        assert np.abs(result.weights).max() < 1.0
+
+    def test_selection_count(self, rng):
+        matrix = rng.standard_normal((11, 3))
+        result = Bulyan(n_byzantine=2).aggregate(1, updates_from(matrix), np.zeros(3), None)
+        assert len(result.accepted_ids) == 11 - 4  # n - 2f
+
+    def test_default_f(self, rng):
+        matrix = rng.standard_normal((11, 3))
+        result = Bulyan().aggregate(1, updates_from(matrix), np.zeros(3), None)
+        assert result.metrics["bulyan_f"] == 2  # (11 - 3) // 4
+
+    def test_small_n_degenerates_gracefully(self, rng):
+        matrix = rng.standard_normal((3, 2))
+        result = Bulyan().aggregate(1, updates_from(matrix), np.zeros(2), None)
+        assert np.isfinite(result.weights).all()
+        assert len(result.accepted_ids) >= 1
+
+    def test_weights_within_selected_bounds(self, rng):
+        matrix = rng.standard_normal((9, 4))
+        result = Bulyan(n_byzantine=1).aggregate(1, updates_from(matrix), np.zeros(4), None)
+        chosen = matrix[[u for u in result.accepted_ids]]
+        assert (result.weights >= chosen.min(axis=0) - 1e-12).all()
+        assert (result.weights <= chosen.max(axis=0) + 1e-12).all()

@@ -1,0 +1,31 @@
+"""FedAvg strategy tests."""
+
+import numpy as np
+
+from repro.defenses import FedAvg
+from repro.fl import ClientUpdate
+
+
+class TestFedAvg:
+    def test_weighted_mean(self):
+        updates = [
+            ClientUpdate(0, np.array([0.0, 0.0]), num_samples=1),
+            ClientUpdate(1, np.array([4.0, 8.0]), num_samples=3),
+        ]
+        result = FedAvg().aggregate(1, updates, np.zeros(2), None)
+        np.testing.assert_allclose(result.weights, [3.0, 6.0])
+
+    def test_accepts_everyone_even_malicious(self, rng):
+        updates = [
+            ClientUpdate(0, rng.standard_normal(4), 10),
+            ClientUpdate(1, np.full(4, 1e6), 10, malicious=True),
+        ]
+        result = FedAvg().aggregate(1, updates, np.zeros(4), None)
+        assert result.accepted_ids == [0, 1]
+        assert result.rejected_ids == []
+
+    def test_no_defense_flags(self):
+        strategy = FedAvg()
+        assert not strategy.needs_decoder
+        assert not strategy.needs_auxiliary
+        assert strategy.name == "fedavg"

@@ -1,0 +1,149 @@
+"""FedGuard selection-rule unit tests with a stubbed synthesis stage.
+
+These isolate Alg. 1 lines 5-7 (scoring + mean-threshold filtering) from
+the CVAE machinery: a stub classifier shell maps each update vector to a
+predetermined prediction pattern, so the audit accuracies — and therefore
+the selection outcome — are exact and fast to compute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defenses import FedGuard
+from repro.fl import ClientUpdate
+from repro.fl.strategy import ServerContext
+
+
+class StubDecoder:
+    """Decoder shell: 'generates' a fixed zero image per label."""
+
+    latent_dim = 2
+    num_classes = 4
+
+    def __init__(self):
+        self._params = [np.zeros(1)]
+
+    def parameters(self):
+        return self._params
+
+    def generate(self, labels, rng, z=None):
+        return np.zeros((len(labels), 6))
+
+
+class StubClassifier:
+    """Classifier shell whose accuracy equals its loaded weight value.
+
+    The flat 'weights' vector is a single scalar a ∈ [0, 1]; predict()
+    returns the true labels for the first ⌊a·n⌋ samples and garbage for
+    the rest, so audit accuracy == a exactly.
+    """
+
+    def __init__(self):
+        self.value = 0.0
+        self._params = [np.zeros(1)]
+
+    def parameters(self):
+        return self._params
+
+    def predict(self, x):
+        n = len(x)
+        correct = int(round(self.value * n))
+        preds = np.full(n, -1)
+        preds[:correct] = StubContext.LABELS[:correct]
+        return preds
+
+
+class StubContext:
+    LABELS = None  # set per test run
+
+
+def make_context(t=8):
+    classifier = StubClassifier()
+
+    def make_classifier():
+        return classifier
+
+    context = ServerContext(
+        make_classifier=make_classifier,
+        make_decoder=lambda: StubDecoder(),
+        num_classes=4,
+        t_samples=t,
+        class_probs=np.full(4, 0.25),
+        rng=np.random.default_rng(0),
+    )
+    return context, classifier
+
+
+def patched_guard():
+    """FedGuard with a trivial synthesis stage (audit data is all-zeros)."""
+    guard = FedGuard()
+
+    def fake_synthesize(updates, context):
+        n = 100
+        StubContext.LABELS = np.zeros(n, dtype=np.int64)
+        return np.zeros((n, 6)), StubContext.LABELS
+
+    guard.synthesize = fake_synthesize
+    return guard
+
+
+def updates_with_scores(scores):
+    # encode the desired accuracy in the single-scalar weight vector;
+    # vector_to_parameters writes it into StubClassifier._params[0].
+    return [
+        ClientUpdate(i, np.array([s]), 10, decoder_weights=np.zeros(1))
+        for i, s in enumerate(scores)
+    ]
+
+
+@pytest.fixture
+def selection_env(monkeypatch):
+    """Wire vector_to_parameters so loading ψ sets the stub's accuracy."""
+    from repro.defenses import fedguard as fedguard_module
+
+    def fake_v2p(vector, model):
+        if isinstance(model, StubClassifier):
+            model.value = float(np.asarray(vector).ravel()[0])
+        elif isinstance(model, StubDecoder):
+            pass
+        else:
+            raise AssertionError("unexpected model type in stub test")
+
+    monkeypatch.setattr(fedguard_module.nn, "vector_to_parameters", fake_v2p)
+    return fake_v2p
+
+
+class TestMeanThresholdSelection:
+    def run_selection(self, scores):
+        guard = patched_guard()
+        context, _ = make_context()
+        updates = updates_with_scores(scores)
+        result = guard.aggregate(1, updates, np.zeros(1), context)
+        return result
+
+    def test_exact_mean_boundary_kept(self, selection_env):
+        # binary-exact scores: [0.25, 0.5, 0.75], mean exactly 0.5 —
+        # the boundary update scores >= mean and must be kept
+        result = self.run_selection([0.25, 0.5, 0.75])
+        assert set(result.accepted_ids) == {1, 2}
+        assert result.rejected_ids == [0]
+
+    def test_all_equal_keeps_all(self, selection_env):
+        result = self.run_selection([0.5, 0.5, 0.5, 0.5])
+        assert len(result.accepted_ids) == 4
+
+    def test_single_update_kept(self, selection_env):
+        result = self.run_selection([0.3])
+        assert result.accepted_ids == [0]
+
+    def test_outlier_lifts_threshold(self, selection_env):
+        # one stellar update pushes the mean above the mediocre majority
+        result = self.run_selection([1.0, 0.3, 0.3, 0.3])
+        assert result.accepted_ids == [0]
+        assert set(result.rejected_ids) == {1, 2, 3}
+
+    def test_metrics_match_scores(self, selection_env):
+        result = self.run_selection([0.2, 0.8])
+        assert result.metrics["audit_acc_mean"] == pytest.approx(0.5)
+        assert result.metrics["audit_acc_min"] == pytest.approx(0.2)
+        assert result.metrics["audit_acc_max"] == pytest.approx(0.8)

@@ -1,0 +1,89 @@
+"""Geometric-median (Weiszfeld) and GeoMed strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import GeoMed, geometric_median
+from repro.fl import ClientUpdate
+
+
+def updates_from(matrix):
+    return [ClientUpdate(i, row, num_samples=10) for i, row in enumerate(matrix)]
+
+
+class TestGeometricMedian:
+    def test_single_point(self):
+        np.testing.assert_allclose(geometric_median(np.array([[1.0, 2.0]])), [1.0, 2.0])
+
+    def test_collinear_median(self):
+        # 1-D geometric median = the ordinary median
+        pts = np.array([[0.0], [1.0], [10.0]])
+        assert geometric_median(pts)[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_symmetric_configuration(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        np.testing.assert_allclose(geometric_median(pts), [0.0, 0.0], atol=1e-6)
+
+    def test_robust_to_single_outlier(self, rng):
+        cluster = rng.standard_normal((20, 5)) * 0.1
+        outlier = np.full((1, 5), 1e6)
+        med = geometric_median(np.vstack([cluster, outlier]))
+        assert np.linalg.norm(med) < 1.0  # stays with the cluster
+
+    def test_mean_is_not_robust_for_contrast(self, rng):
+        cluster = rng.standard_normal((20, 5)) * 0.1
+        outlier = np.full((1, 5), 1e6)
+        both = np.vstack([cluster, outlier])
+        assert np.linalg.norm(both.mean(axis=0)) > 1e4
+
+    def test_weighted(self):
+        pts = np.array([[0.0], [10.0]])
+        # overwhelming weight on the second point pulls the median there
+        med = geometric_median(pts, weights=np.array([1.0, 1e6]))
+        assert med[0] == pytest.approx(10.0, abs=1e-3)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            geometric_median(np.zeros((2, 2)), weights=np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            geometric_median(np.zeros((2, 2)), weights=np.zeros(2))
+
+    def test_iterate_landing_on_data_point(self):
+        # the mean of these points IS one of the points — the classic
+        # Weiszfeld degeneracy; must not produce NaNs
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [-2.0, 0.0], [0.0, 2.0], [0.0, -2.0]])
+        med = geometric_median(pts)
+        assert np.isfinite(med).all()
+        np.testing.assert_allclose(med, [0.0, 0.0], atol=1e-6)
+
+    def test_minimizes_distance_sum(self, rng):
+        """The defining property: no nearby point does better."""
+        pts = rng.standard_normal((15, 3))
+        med = geometric_median(pts)
+        cost = np.linalg.norm(pts - med, axis=1).sum()
+        for _ in range(20):
+            probe = med + rng.standard_normal(3) * 0.05
+            assert np.linalg.norm(pts - probe, axis=1).sum() >= cost - 1e-6
+
+
+class TestGeoMedStrategy:
+    def test_aggregate_returns_median(self, rng):
+        matrix = rng.standard_normal((7, 6))
+        result = GeoMed().aggregate(1, updates_from(matrix), np.zeros(6), None)
+        np.testing.assert_allclose(result.weights, geometric_median(matrix), atol=1e-8)
+
+    def test_accepts_everyone(self, rng):
+        matrix = rng.standard_normal((4, 3))
+        result = GeoMed().aggregate(1, updates_from(matrix), np.zeros(3), None)
+        assert result.accepted_ids == [0, 1, 2, 3]
+        assert result.rejected_ids == []
+
+    def test_resists_minority_same_value(self, rng):
+        """With 30 % attackers pushing all-ones, the median stays near the
+        benign cluster — the regime where GeoMed works."""
+        benign = rng.standard_normal((7, 20)) * 0.1
+        evil = np.ones((3, 20)) * 50.0
+        result = GeoMed().aggregate(
+            1, updates_from(np.vstack([benign, evil])), np.zeros(20), None
+        )
+        assert np.linalg.norm(result.weights) < 5.0

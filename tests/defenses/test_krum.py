@@ -1,0 +1,100 @@
+"""Krum tests: distance computation, scoring, selection behaviour."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.defenses import Krum, krum_scores, pairwise_sq_dists
+from repro.fl import ClientUpdate
+
+
+def updates_from(matrix):
+    return [ClientUpdate(i, row, num_samples=10) for i, row in enumerate(matrix)]
+
+
+class TestPairwiseSqDists:
+    def test_matches_scipy(self, rng):
+        m = rng.standard_normal((8, 5))
+        ref = cdist(m, m, "sqeuclidean")
+        np.testing.assert_allclose(pairwise_sq_dists(m), ref, atol=1e-9)
+
+    def test_no_negative_entries(self, rng):
+        m = rng.standard_normal((30, 4)) * 1e-8  # cancellation-prone scale
+        assert (pairwise_sq_dists(m) >= 0).all()
+
+    def test_zero_diagonal(self, rng):
+        m = rng.standard_normal((5, 3))
+        assert (np.diag(pairwise_sq_dists(m)) == 0).all()
+
+    def test_extreme_magnitudes_no_nan(self, rng):
+        """Poisoned federations can produce updates whose squared norms
+        overflow float64; distances must degrade to +inf, never NaN."""
+        m = rng.standard_normal((4, 3))
+        m[0] *= 1e200
+        d = pairwise_sq_dists(m)
+        assert not np.isnan(d).any()
+        scores = krum_scores(m, 1)
+        assert not np.isnan(scores).any()
+
+
+class TestKrumScores:
+    def test_outlier_scores_worst(self, rng):
+        cluster = rng.standard_normal((8, 4)) * 0.1
+        outlier = np.full((1, 4), 100.0)
+        scores = krum_scores(np.vstack([cluster, outlier]), n_byzantine=1)
+        assert scores.argmax() == 8
+
+    def test_tight_center_scores_best(self):
+        pts = np.array([[0.0], [0.1], [-0.1], [5.0], [6.0]])
+        scores = krum_scores(pts, n_byzantine=2)
+        assert scores.argmin() == 0
+
+    def test_degenerate_small_n(self, rng):
+        scores = krum_scores(rng.standard_normal((3, 2)), n_byzantine=5)
+        assert scores.shape == (3,)
+        assert np.isfinite(scores).all()
+
+
+class TestKrumStrategy:
+    def test_selects_single_update(self, rng):
+        matrix = rng.standard_normal((6, 4))
+        result = Krum().aggregate(1, updates_from(matrix), np.zeros(4), None)
+        assert len(result.accepted_ids) == 1
+        chosen = result.accepted_ids[0]
+        np.testing.assert_array_equal(result.weights, matrix[chosen])
+
+    def test_multi_krum_averages_best_k(self, rng):
+        cluster = rng.standard_normal((6, 4)) * 0.1
+        outliers = np.full((2, 4), 50.0)
+        matrix = np.vstack([cluster, outliers])
+        result = Krum(n_byzantine=2, multi=3).aggregate(
+            1, updates_from(matrix), np.zeros(4), None
+        )
+        assert len(result.accepted_ids) == 3
+        assert set(result.accepted_ids) <= set(range(6))  # outliers excluded
+        assert np.linalg.norm(result.weights) < 1.0
+
+    def test_rejects_isolated_outlier(self, rng):
+        cluster = rng.standard_normal((7, 5)) * 0.1
+        outlier = np.full((1, 5), 30.0)
+        matrix = np.vstack([cluster, outlier])
+        result = Krum(n_byzantine=1).aggregate(1, updates_from(matrix), np.zeros(5), None)
+        assert 7 in result.rejected_ids
+
+    def test_colluding_majority_wins(self, rng):
+        """Krum's documented failure mode (paper Section V-A): a tight
+        malicious majority cluster out-scores the benign spread."""
+        benign = rng.standard_normal((4, 6)) * 1.0
+        colluders = np.ones((6, 6)) + rng.standard_normal((6, 6)) * 0.001
+        matrix = np.vstack([benign, colluders])
+        result = Krum().aggregate(1, updates_from(matrix), np.zeros(6), None)
+        assert result.accepted_ids[0] >= 4  # a colluder gets selected
+
+    def test_invalid_multi(self):
+        with pytest.raises(ValueError):
+            Krum(multi=0)
+
+    def test_metrics_contain_best_score(self, rng):
+        matrix = rng.standard_normal((5, 3))
+        result = Krum().aggregate(1, updates_from(matrix), np.zeros(3), None)
+        assert "krum_best_score" in result.metrics

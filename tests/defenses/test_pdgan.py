@@ -1,0 +1,106 @@
+"""PDGAN baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import ModelConfig
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.defenses import PDGAN
+from repro.fl import ClientUpdate
+from repro.fl.client import train_classifier
+from repro.fl.strategy import ServerContext
+from repro.models import build_classifier, build_decoder
+
+
+@pytest.fixture(scope="module")
+def pdgan_env():
+    model_cfg = ModelConfig(kind="mlp", image_size=8, mlp_hidden=32,
+                            cvae_hidden=24, cvae_latent=4)
+    rng = np.random.default_rng(0)
+    aux = generate_dataset(300, rng, SynthMnistConfig(image_size=8))
+    context = ServerContext(
+        make_classifier=lambda: build_classifier(model_cfg, np.random.default_rng(1)),
+        make_decoder=lambda: build_decoder(model_cfg, np.random.default_rng(1)),
+        num_classes=10,
+        t_samples=20,
+        class_probs=np.full(10, 0.1),
+        rng=np.random.default_rng(2),
+        auxiliary_dataset=aux,
+    )
+    pdgan = PDGAN(init_rounds=2, samples=60, gan_epochs=200, hidden=96, latent_dim=12)
+    pdgan.setup(context)
+
+    # a well-trained reference classifier for "benign" updates
+    data = generate_dataset(400, rng, SynthMnistConfig(image_size=8))
+    good = build_classifier(model_cfg, rng)
+    train_classifier(good, data, epochs=15, lr=0.1, batch_size=32, rng=rng, momentum=0.9)
+    good_vec = nn.parameters_to_vector(good)
+    return pdgan, context, good_vec
+
+
+def benign_updates(good_vec, n, jitter=0.01, start_id=0):
+    rng = np.random.default_rng(9)
+    return [
+        ClientUpdate(start_id + i, good_vec + rng.standard_normal(good_vec.size) * jitter, 10)
+        for i in range(n)
+    ]
+
+
+class TestInitializationWindow:
+    def test_defenseless_during_warmup(self, pdgan_env):
+        pdgan, context, good_vec = pdgan_env
+        updates = benign_updates(good_vec, 3)
+        updates.append(ClientUpdate(99, np.ones(good_vec.size), 10, malicious=True))
+        result = pdgan.aggregate(1, updates, good_vec, context)  # round 1 <= init 2
+        assert result.rejected_ids == []
+        assert result.metrics["pdgan_active"] == 0
+
+    def test_active_after_warmup(self, pdgan_env):
+        pdgan, context, good_vec = pdgan_env
+        updates = benign_updates(good_vec, 4)
+        result = pdgan.aggregate(3, updates, good_vec, context)
+        assert result.metrics["pdgan_active"] == 1
+
+
+class TestMajorityVoteAudit:
+    def test_poisoned_update_rejected(self, pdgan_env):
+        pdgan, context, good_vec = pdgan_env
+        updates = benign_updates(good_vec, 5)
+        updates.append(ClientUpdate(50, -good_vec, 10, malicious=True))
+        result = pdgan.aggregate(5, updates, good_vec, context)
+        assert 50 in result.rejected_ids
+
+    def test_all_identical_accepts_everyone(self, pdgan_env):
+        pdgan, context, good_vec = pdgan_env
+        updates = [ClientUpdate(i, good_vec.copy(), 10) for i in range(4)]
+        result = pdgan.aggregate(5, updates, good_vec, context)
+        assert len(result.accepted_ids) == 4
+
+
+class TestValidation:
+    def test_requires_auxiliary(self):
+        pdgan = PDGAN()
+        context = ServerContext(
+            make_classifier=lambda: None, make_decoder=lambda: None,
+            num_classes=10, t_samples=10, class_probs=np.full(10, 0.1),
+            rng=np.random.default_rng(0), auxiliary_dataset=None,
+        )
+        with pytest.raises(RuntimeError):
+            pdgan.setup(context)
+
+    def test_aggregate_before_setup(self, pdgan_env):
+        fresh = PDGAN()
+        _, context, good_vec = pdgan_env
+        with pytest.raises(RuntimeError):
+            fresh.aggregate(1, benign_updates(good_vec, 2), good_vec, context)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PDGAN(init_rounds=-1)
+        with pytest.raises(ValueError):
+            PDGAN(samples=0)
+
+    def test_flags(self):
+        assert PDGAN().needs_auxiliary
+        assert not PDGAN().needs_decoder

@@ -1,0 +1,97 @@
+"""Uniform contract tests across every registered strategy.
+
+Each strategy must satisfy the aggregation contract: finite weights of
+the right dimension, accepted ∪ rejected ⊆ submitted, and accepted ≠ ∅.
+Strategies with a pre-training phase (Spectral, PDGAN, FedCVAE) are
+exercised against a minimal auxiliary setup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.experiments import STRATEGY_FACTORIES, make_strategy
+from repro.fl import ClientUpdate
+from repro.fl.strategy import ServerContext
+from repro.models import build_classifier, build_cvae, build_decoder
+from repro import nn
+
+
+MODEL_CFG = ModelConfig(kind="mlp", image_size=8, mlp_hidden=16,
+                        cvae_hidden=16, cvae_latent=3)
+
+
+@pytest.fixture(scope="module")
+def context():
+    rng = np.random.default_rng(0)
+    aux = generate_dataset(80, rng, SynthMnistConfig(image_size=8))
+    return ServerContext(
+        make_classifier=lambda: build_classifier(MODEL_CFG, np.random.default_rng(1)),
+        make_decoder=lambda: build_decoder(MODEL_CFG, np.random.default_rng(1)),
+        num_classes=10,
+        t_samples=10,
+        class_probs=np.full(10, 0.1),
+        rng=np.random.default_rng(2),
+        auxiliary_dataset=aux,
+    )
+
+
+@pytest.fixture(scope="module")
+def updates(context):
+    rng = np.random.default_rng(3)
+    base = nn.parameters_to_vector(context.make_classifier())
+    cvae = build_cvae(MODEL_CFG, rng)
+    theta = nn.parameters_to_vector(cvae.decoder)
+    return base, [
+        ClientUpdate(
+            i, base + rng.standard_normal(base.size) * 0.05, 10,
+            decoder_weights=theta,
+            decoder_classes=np.arange(10),
+        )
+        for i in range(6)
+    ]
+
+
+def shrink(strategy):
+    """Dial pre-training strategies down to test size."""
+    name = type(strategy).__name__
+    if name == "Spectral":
+        return type(strategy)(surrogate_dim=8, pretrain_rounds=1, pseudo_clients=2,
+                              vae_epochs=3, pretrain_epochs=1)
+    if name == "PDGAN":
+        return type(strategy)(init_rounds=0, samples=10, gan_epochs=3,
+                              hidden=16, latent_dim=3)
+    if name == "FedCVAE":
+        return type(strategy)(surrogate_dim=8, pretrain_rounds=2, pseudo_clients=2,
+                              cvae_epochs=3, pretrain_epochs=1)
+    return strategy
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGY_FACTORIES))
+def test_aggregation_contract(name, context, updates):
+    base, update_list = updates
+    strategy = shrink(make_strategy(name))
+    strategy.setup(context)
+    result = strategy.aggregate(1, update_list, base, context)
+
+    assert result.weights.shape == base.shape
+    assert np.isfinite(result.weights).all()
+    submitted = {u.client_id for u in update_list}
+    assert set(result.accepted_ids) <= submitted
+    assert set(result.rejected_ids) <= submitted
+    assert set(result.accepted_ids) & set(result.rejected_ids) == set()
+    assert len(result.accepted_ids) >= 1
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGY_FACTORIES))
+def test_aggregate_does_not_mutate_inputs(name, context, updates):
+    base, update_list = updates
+    before = [u.weights.copy() for u in update_list]
+    base_before = base.copy()
+    strategy = shrink(make_strategy(name))
+    strategy.setup(context)
+    strategy.aggregate(1, update_list, base, context)
+    np.testing.assert_array_equal(base, base_before)
+    for u, prev in zip(update_list, before):
+        np.testing.assert_array_equal(u.weights, prev)

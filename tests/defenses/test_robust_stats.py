@@ -1,0 +1,93 @@
+"""Tests for the extra robust-aggregation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import CoordinateMedian, NormThresholding, TrimmedMean
+from repro.fl import ClientUpdate
+
+
+def updates_from(matrix, n=10):
+    return [ClientUpdate(i, row, num_samples=n) for i, row in enumerate(matrix)]
+
+
+class TestCoordinateMedian:
+    def test_is_per_coordinate_median(self, rng):
+        matrix = rng.standard_normal((7, 4))
+        result = CoordinateMedian().aggregate(1, updates_from(matrix), np.zeros(4), None)
+        np.testing.assert_array_equal(result.weights, np.median(matrix, axis=0))
+
+    def test_ignores_extreme_minority(self, rng):
+        benign = rng.standard_normal((6, 5)) * 0.1
+        evil = np.full((2, 5), 1e6)
+        result = CoordinateMedian().aggregate(
+            1, updates_from(np.vstack([benign, evil])), np.zeros(5), None
+        )
+        assert np.abs(result.weights).max() < 1.0
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_mean(self, rng):
+        matrix = rng.standard_normal((5, 3))
+        result = TrimmedMean(0.0).aggregate(1, updates_from(matrix), np.zeros(3), None)
+        np.testing.assert_allclose(result.weights, matrix.mean(axis=0))
+
+    def test_trims_extremes(self):
+        matrix = np.array([[0.0], [1.0], [2.0], [3.0], [100.0]])
+        result = TrimmedMean(0.2).aggregate(1, updates_from(matrix), np.zeros(1), None)
+        # one trimmed from each side: mean(1, 2, 3)
+        assert result.weights[0] == pytest.approx(2.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(0.5)
+        with pytest.raises(ValueError):
+            TrimmedMean(-0.1)
+
+    def test_falls_back_to_mean_when_overtrimmed(self):
+        matrix = np.array([[0.0], [10.0]])
+        result = TrimmedMean(0.4).aggregate(1, updates_from(matrix), np.zeros(1), None)
+        assert result.weights[0] == pytest.approx(5.0)
+
+
+class TestNormThresholding:
+    def test_clips_large_deltas(self, rng):
+        global_w = np.zeros(4)
+        benign = rng.standard_normal((5, 4)) * 0.1
+        evil = np.full((1, 4), 100.0)
+        result = NormThresholding().aggregate(
+            1, updates_from(np.vstack([benign, evil])), global_w, None
+        )
+        # the attacker's delta is clipped to the median benign norm
+        assert np.linalg.norm(result.weights) < 1.0
+
+    def test_explicit_threshold(self):
+        global_w = np.zeros(2)
+        matrix = np.array([[3.0, 4.0]])  # norm 5
+        result = NormThresholding(threshold=1.0).aggregate(
+            1, updates_from(matrix), global_w, None
+        )
+        assert np.linalg.norm(result.weights) == pytest.approx(1.0)
+
+    def test_small_updates_untouched(self):
+        global_w = np.zeros(2)
+        matrix = np.array([[0.3, 0.4]])  # norm 0.5 < threshold
+        result = NormThresholding(threshold=1.0).aggregate(
+            1, updates_from(matrix), global_w, None
+        )
+        np.testing.assert_allclose(result.weights, [0.3, 0.4])
+
+    def test_sign_flip_evades_clipping(self, rng):
+        """The failure mode the paper calls out: a sign-flipped update has
+        an unchanged norm, so norm thresholding passes it through."""
+        global_w = np.zeros(6)
+        benign = rng.standard_normal(6)
+        flipped = -benign
+        result = NormThresholding(threshold=np.linalg.norm(benign) * 2).aggregate(
+            1, updates_from(np.stack([benign, flipped])), global_w, None
+        )
+        np.testing.assert_allclose(result.weights, np.zeros(6), atol=1e-12)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            NormThresholding(threshold=0.0)

@@ -1,0 +1,94 @@
+"""Spectral defense tests: pre-training, surrogates, mean-threshold filter."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import ModelConfig
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.defenses import Spectral
+from repro.fl import ClientUpdate
+from repro.fl.strategy import ServerContext
+from repro.models import build_classifier, build_decoder
+
+
+def make_context(rng_seed=0, with_aux=True):
+    model_cfg = ModelConfig(kind="mlp", image_size=8, mlp_hidden=24,
+                            cvae_hidden=24, cvae_latent=4)
+    rng = np.random.default_rng(rng_seed)
+    aux = generate_dataset(120, rng, SynthMnistConfig(image_size=8)) if with_aux else None
+    return ServerContext(
+        make_classifier=lambda: build_classifier(model_cfg, np.random.default_rng(1)),
+        make_decoder=lambda: build_decoder(model_cfg, np.random.default_rng(1)),
+        num_classes=10,
+        t_samples=20,
+        class_probs=np.full(10, 0.1),
+        rng=np.random.default_rng(2),
+        auxiliary_dataset=aux,
+    )
+
+
+def small_spectral():
+    return Spectral(surrogate_dim=16, pretrain_rounds=2, pseudo_clients=3,
+                    vae_epochs=20, pretrain_epochs=2)
+
+
+@pytest.fixture(scope="module")
+def trained_spectral():
+    context = make_context()
+    spectral = small_spectral()
+    spectral.setup(context)
+    return spectral, context
+
+
+class TestSetup:
+    def test_requires_auxiliary(self):
+        spectral = small_spectral()
+        with pytest.raises(RuntimeError):
+            spectral.setup(make_context(with_aux=False))
+
+    def test_trains_vae_and_projection(self, trained_spectral):
+        spectral, _ = trained_spectral
+        assert spectral._vae is not None
+        assert spectral._tail_size is not None
+        assert spectral._mu is not None
+
+    def test_aggregate_before_setup_raises(self):
+        spectral = small_spectral()
+        with pytest.raises(RuntimeError):
+            spectral.aggregate(1, [], np.zeros(4), make_context())
+
+
+class TestFiltering:
+    def _benign_updates(self, context, n, jitter=0.02):
+        model = context.make_classifier()
+        base = nn.parameters_to_vector(model)
+        rng = np.random.default_rng(5)
+        return base, [
+            ClientUpdate(i, base + rng.standard_normal(base.size) * jitter, 10)
+            for i in range(n)
+        ]
+
+    def test_extreme_outlier_rejected(self, trained_spectral):
+        spectral, context = trained_spectral
+        base, updates = self._benign_updates(context, 6)
+        updates.append(ClientUpdate(6, np.full(base.size, 1.0), 10, malicious=True))
+        result = spectral.aggregate(1, updates, base, context)
+        assert 6 in result.rejected_ids
+
+    def test_mean_threshold_always_keeps_someone(self, trained_spectral):
+        spectral, context = trained_spectral
+        base, updates = self._benign_updates(context, 5)
+        result = spectral.aggregate(1, updates, base, context)
+        assert len(result.accepted_ids) >= 1
+        assert len(result.accepted_ids) + len(result.rejected_ids) == 5
+
+    def test_metrics_reported(self, trained_spectral):
+        spectral, context = trained_spectral
+        base, updates = self._benign_updates(context, 4)
+        result = spectral.aggregate(1, updates, base, context)
+        assert "recon_error_mean" in result.metrics
+
+    def test_needs_auxiliary_flag(self):
+        assert Spectral().needs_auxiliary
+        assert not Spectral().needs_decoder

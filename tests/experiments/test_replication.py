@@ -1,0 +1,43 @@
+"""Multi-seed replication tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import FederationConfig
+from repro.experiments import ReplicationResult, replicate_cell
+
+
+class TestReplicateCell:
+    def test_runs_distinct_seeds(self):
+        config = FederationConfig.tiny()
+        result, histories = replicate_cell(config, "fedavg", "no_attack", n_seeds=3)
+        assert result.seeds == (0, 1, 2)
+        assert len(histories) == 3
+        assert result.tail_means.shape == (3,)
+        # different seeds → different data → different curves
+        assert not np.array_equal(histories[0].accuracies, histories[1].accuracies)
+
+    def test_statistics(self):
+        config = FederationConfig.tiny()
+        result, _ = replicate_cell(config, "fedavg", "no_attack", n_seeds=2)
+        assert 0.0 <= result.mean_of_means <= 1.0
+        lo, hi = result.confidence_interval()
+        assert lo <= result.mean_of_means <= hi
+
+    def test_summary_string(self):
+        config = FederationConfig.tiny()
+        result, _ = replicate_cell(config, "fedavg", "no_attack", n_seeds=2)
+        text = result.summary()
+        assert "fedavg/no_attack" in text
+        assert "2 seeds" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate_cell(FederationConfig.tiny(), "fedavg", "no_attack", n_seeds=0)
+
+    def test_base_seed_offsets(self):
+        config = FederationConfig.tiny()
+        result, _ = replicate_cell(
+            config, "fedavg", "no_attack", n_seeds=2, base_seed=10
+        )
+        assert result.seeds == (10, 11)

@@ -1,0 +1,56 @@
+"""Reporting helper tests."""
+
+import numpy as np
+
+from repro.experiments import ascii_series, markdown_table, series_to_csv
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = markdown_table(["A", "B"], [["1", "2"], ["3", "4"]])
+        lines = md.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| A")
+        assert set(lines[1]) <= {"|", "-", ":", " "}
+
+    def test_column_alignment_width(self):
+        md = markdown_table(["name"], [["a-very-long-cell"]])
+        header, _, row = md.splitlines()
+        assert len(header) == len(row)
+
+
+class TestAsciiSeries:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_series({"fedavg": np.array([0.1, 0.5, 0.9])}, title="demo")
+        assert "demo" in plot
+        assert "o=fedavg" in plot
+        assert "(round)" in plot
+
+    def test_empty(self):
+        assert ascii_series({}) == "(empty plot)"
+
+    def test_multiple_series_markers(self):
+        plot = ascii_series({
+            "a": np.array([0.2, 0.2]),
+            "b": np.array([0.8, 0.8]),
+        })
+        assert "o=a" in plot and "x=b" in plot
+
+    def test_values_clipped_to_bounds(self):
+        # out-of-range values must not crash or escape the grid
+        plot = ascii_series({"a": np.array([-0.5, 1.5])})
+        assert "(round)" in plot
+
+
+class TestSeriesToCsv:
+    def test_format(self):
+        csv = series_to_csv({"x": np.array([0.25, 0.5])})
+        lines = csv.splitlines()
+        assert lines[0] == "round,x"
+        assert lines[1].startswith("1,0.25")
+
+    def test_ragged_series_padded(self):
+        csv = series_to_csv({"a": np.array([0.1]), "b": np.array([0.2, 0.3])})
+        assert csv.splitlines()[2].endswith("0.300000")
+        assert ",," not in csv.splitlines()[1]  # row 1 has both values
+        assert csv.splitlines()[2].split(",")[1] == ""  # a ran out

@@ -1,0 +1,64 @@
+"""Runner and figure-harness tests at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.config import FederationConfig
+from repro.experiments import fig4_series, fig5_series, run_cell, run_matrix
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FederationConfig.tiny()
+
+
+class TestRunCell:
+    def test_returns_history(self, tiny_config):
+        history = run_cell(tiny_config, "fedavg", "no_attack")
+        assert history.strategy_name == "fedavg"
+        assert history.scenario_name == "no_attack"
+        assert len(history) == tiny_config.rounds
+
+    def test_unknown_names_raise(self, tiny_config):
+        with pytest.raises(KeyError):
+            run_cell(tiny_config, "quantum", "no_attack")
+        with pytest.raises(KeyError):
+            run_cell(tiny_config, "fedavg", "alien_invasion")
+
+
+class TestRunMatrix:
+    def test_cross_product(self, tiny_config):
+        results = run_matrix(
+            tiny_config, ["fedavg", "krum"], ["no_attack", "same_value_50"]
+        )
+        assert set(results) == {
+            ("fedavg", "no_attack"), ("fedavg", "same_value_50"),
+            ("krum", "no_attack"), ("krum", "same_value_50"),
+        }
+
+    def test_cells_share_federation(self, tiny_config):
+        """Same scenario, different strategy → identical malicious draw,
+        visible as identical malicious_sampled counts per round when the
+        server RNG streams match."""
+        results = run_matrix(tiny_config, ["fedavg", "geomed"], ["same_value_50"])
+        a = results[("fedavg", "same_value_50")]
+        b = results[("geomed", "same_value_50")]
+        assert [r.sampled_ids for r in a.rounds] == [r.sampled_ids for r in b.rounds]
+
+
+class TestFig4Series:
+    def test_grouping(self, tiny_config):
+        results = run_matrix(tiny_config, ["fedavg"], ["no_attack", "same_value_50"])
+        panels = fig4_series(results)
+        assert set(panels) == {"no_attack", "same_value_50"}
+        assert "fedavg" in panels["no_attack"]
+        assert len(panels["no_attack"]["fedavg"]) == tiny_config.rounds
+
+
+class TestFig5Series:
+    def test_two_curves(self, tiny_config):
+        series = fig5_series(tiny_config, server_lrs=(1.0, 0.3))
+        assert set(series) == {"fedguard-lr-1", "fedguard-lr-0.3"}
+        for curve in series.values():
+            assert len(curve) == tiny_config.rounds
+            assert np.isfinite(curve).all()

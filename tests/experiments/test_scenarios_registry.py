@@ -1,0 +1,49 @@
+"""Registry tests for the experiment harness."""
+
+import pytest
+
+from repro.attacks import AttackScenario
+from repro.defenses import FedGuard
+from repro.experiments import (
+    make_scenario,
+    make_strategy,
+    paper_scenario_names,
+    paper_strategy_names,
+)
+
+
+class TestStrategyRegistry:
+    def test_all_paper_strategies_constructible(self):
+        for name in paper_strategy_names():
+            strategy = make_strategy(name)
+            assert strategy.name == name
+
+    def test_fresh_instances(self):
+        assert make_strategy("fedguard") is not make_strategy("fedguard")
+
+    def test_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="fedavg"):
+            make_strategy("nope")
+
+    def test_fedguard_type(self):
+        assert isinstance(make_strategy("fedguard"), FedGuard)
+
+
+class TestScenarioRegistry:
+    def test_all_paper_scenarios_constructible(self):
+        for name in paper_scenario_names():
+            scenario = make_scenario(name)
+            assert isinstance(scenario, AttackScenario)
+            assert scenario.name == name
+
+    def test_fig5_scenario_available(self):
+        scenario = make_scenario("label_flipping_40")
+        assert scenario.malicious_fraction == 0.4
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_scenario("meteor_strike")
+
+    def test_paper_lists_complete(self):
+        assert len(paper_strategy_names()) == 5
+        assert len(paper_scenario_names()) == 5

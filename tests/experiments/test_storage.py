@@ -1,0 +1,84 @@
+"""History persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.storage import (
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    load_matrix,
+    save_history,
+    save_matrix,
+)
+from repro.fl.history import History, RoundRecord
+
+
+def sample_history(strategy="fedguard", scenario="no_attack", rounds=3):
+    h = History(strategy, scenario)
+    for i in range(1, rounds + 1):
+        h.append(RoundRecord(
+            round_idx=i, accuracy=0.5 + 0.1 * i, sampled_ids=[0, 1, 2],
+            accepted_ids=[0, 1], rejected_ids=[2], malicious_sampled=1,
+            malicious_accepted=0, upload_nbytes=1000, download_nbytes=800,
+            duration_s=0.25, metrics={"audit_acc_mean": 0.7},
+        ))
+    return h
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        original = sample_history()
+        restored = history_from_dict(history_to_dict(original))
+        assert restored.strategy_name == original.strategy_name
+        assert restored.scenario_name == original.scenario_name
+        np.testing.assert_array_equal(restored.accuracies, original.accuracies)
+        assert restored.rounds[0].rejected_ids == [2]
+        assert restored.rounds[0].metrics["audit_acc_mean"] == 0.7
+
+    def test_file_roundtrip(self, tmp_path):
+        original = sample_history()
+        path = tmp_path / "sub" / "history.json"
+        save_history(original, path)
+        restored = load_history(path)
+        np.testing.assert_array_equal(restored.accuracies, original.accuracies)
+
+    def test_derived_statistics_survive(self, tmp_path):
+        original = sample_history(rounds=5)
+        path = tmp_path / "h.json"
+        save_history(original, path)
+        restored = load_history(path)
+        assert restored.tail_stats() == original.tail_stats()
+        assert restored.detection_summary() == original.detection_summary()
+        assert restored.comm_per_round() == original.comm_per_round()
+
+    def test_unsupported_version(self):
+        data = history_to_dict(sample_history())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            history_from_dict(data)
+
+    def test_unserializable_metric_reprd(self):
+        h = sample_history(rounds=1)
+        h.rounds[0].metrics["array"] = np.arange(3)
+        restored = history_from_dict(history_to_dict(h))
+        assert isinstance(restored.rounds[0].metrics["array"], str)
+
+
+class TestMatrixPersistence:
+    def test_save_and_load(self, tmp_path):
+        results = {
+            ("fedavg", "no_attack"): sample_history("fedavg", "no_attack"),
+            ("fedguard", "sign_flipping_50"): sample_history("fedguard", "sign_flipping_50"),
+        }
+        written = save_matrix(results, tmp_path)
+        assert len(written) == 2
+        loaded = load_matrix(tmp_path)
+        assert set(loaded) == set(results)
+        np.testing.assert_array_equal(
+            loaded[("fedavg", "no_attack")].accuracies,
+            results[("fedavg", "no_attack")].accuracies,
+        )
+
+    def test_empty_directory(self, tmp_path):
+        assert load_matrix(tmp_path) == {}

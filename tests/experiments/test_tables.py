@@ -1,0 +1,84 @@
+"""Table reproduction harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.experiments import table4, table5, table5_analytic
+from repro.fl.history import History, RoundRecord
+
+
+def fake_history(strategy, scenario, accs, upload=1000, download=800, secs=0.5):
+    h = History(strategy, scenario)
+    for i, acc in enumerate(accs, start=1):
+        h.append(RoundRecord(
+            round_idx=i, accuracy=acc, sampled_ids=[0, 1], accepted_ids=[0],
+            rejected_ids=[1], malicious_sampled=1, malicious_accepted=0,
+            upload_nbytes=upload, download_nbytes=download, duration_s=secs,
+        ))
+    return h
+
+
+class TestTable4:
+    def test_tail_statistics(self):
+        results = {
+            ("fedavg", "no_attack"): fake_history("fedavg", "no_attack",
+                                                  [0.1, 0.8, 0.9, 0.9, 0.9]),
+        }
+        stats, md = table4(results, skip_fraction=0.2)
+        mean, std = stats[("fedavg", "no_attack")]
+        assert mean == pytest.approx(np.mean([0.8, 0.9, 0.9, 0.9]))
+        assert "fedavg" in md and "%" in md
+
+    def test_missing_cells_dashed(self):
+        results = {
+            ("fedavg", "a"): fake_history("fedavg", "a", [0.5] * 4),
+            ("krum", "b"): fake_history("krum", "b", [0.5] * 4),
+        }
+        _, md = table4(results)
+        assert "—" in md
+
+
+class TestTable5:
+    def test_overhead_relative_to_fedavg(self):
+        results = {
+            ("fedavg", "no_attack"): fake_history("fedavg", "no_attack", [0.9] * 3,
+                                                  upload=1000, secs=1.0),
+            ("fedguard", "no_attack"): fake_history("fedguard", "no_attack", [0.9] * 3,
+                                                    upload=1200, secs=1.8),
+        }
+        per_strategy, md = table5(results)
+        assert per_strategy["fedguard"]["server_download_bytes"] == 1200
+        assert "(+20%)" in md
+        assert "(+80%)" in md
+
+    def test_missing_baseline_raises(self):
+        results = {("krum", "no_attack"): fake_history("krum", "no_attack", [0.5] * 2)}
+        with pytest.raises(KeyError):
+            table5(results)
+
+
+class TestTable5Analytic:
+    def test_paper_scale_overheads(self):
+        """The headline Table V result from first principles: FedGuard adds
+        ~+20 % to server downloads and ~+10 % to total communication."""
+        budgets, md = table5_analytic(ModelConfig.paper(), clients_per_round=50)
+        base = budgets["fedavg"]
+        guard = budgets["fedguard"]
+        down_overhead = guard.server_download_bytes / base.server_download_bytes - 1
+        total_overhead = guard.total_bytes / base.total_bytes - 1
+        assert down_overhead == pytest.approx(0.199, abs=0.01)
+        assert total_overhead == pytest.approx(0.099, abs=0.01)
+        assert "(+20%)" in md and "(+10%)" in md
+
+    def test_non_fedguard_strategies_identical(self):
+        budgets, _ = table5_analytic()
+        base = budgets["fedavg"]
+        for name in ("geomed", "krum", "spectral"):
+            assert budgets[name].total_bytes == base.total_bytes
+
+    def test_classifier_broadcast_volume(self):
+        """Uploads = m × |ψ| × 4 bytes; with Table II's classifier this is
+        ~333 MB for m=50 (the paper reports 348 MB including wire framing)."""
+        budgets, _ = table5_analytic(ModelConfig.paper(), clients_per_round=50)
+        assert budgets["fedavg"].server_upload_bytes / 1e6 == pytest.approx(332.7, abs=1.0)

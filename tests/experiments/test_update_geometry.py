@@ -1,0 +1,74 @@
+"""Update-geometry diagnostic tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SignFlippingAttack
+from repro.experiments.update_geometry import (
+    RoundGeometry,
+    cosine_matrix,
+    round_geometry,
+)
+from repro.fl import ClientUpdate
+
+
+def updates_from(matrix):
+    return [ClientUpdate(i, row, 10) for i, row in enumerate(matrix)]
+
+
+class TestCosineMatrix:
+    def test_self_similarity_one(self, rng):
+        m = rng.standard_normal((5, 8))
+        sims = cosine_matrix(m)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_opposite_vectors(self):
+        m = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert cosine_matrix(m)[0, 1] == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        m = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cosine_matrix(m)[0, 1] == pytest.approx(0.0)
+
+    def test_zero_vector_safe(self):
+        sims = cosine_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert np.isfinite(sims).all()
+
+
+class TestRoundGeometry:
+    def test_benign_cluster_is_coherent(self, rng):
+        base = rng.standard_normal(32)
+        matrix = base + rng.standard_normal((8, 32)) * 0.05
+        geo = round_geometry(updates_from(matrix), np.zeros(32))
+        assert geo.mean_pairwise_cosine > 0.9
+        assert geo.norm_dispersion < 0.2
+
+    def test_sign_flip_shows_negative_cosine(self, rng):
+        base = np.zeros(32)
+        honest = rng.standard_normal(32) * 0.5
+        attack = SignFlippingAttack()
+        matrix = np.stack([
+            base + honest,
+            base + honest + rng.standard_normal(32) * 0.01,
+            attack.apply(base + honest, rng),
+        ])
+        geo = round_geometry(updates_from(matrix), base)
+        assert geo.min_pairwise_cosine < -0.9
+
+    def test_same_value_outlier_by_norm(self, rng):
+        base = np.zeros(64)
+        benign = [base + rng.standard_normal(64) * 0.05 for _ in range(7)]
+        attacker = np.ones(64) * 10
+        matrix = np.stack(benign + [attacker])
+        geo = round_geometry(updates_from(matrix), base)
+        assert 7 in geo.outliers_by_norm()
+
+    def test_no_outliers_in_homogeneous_round(self, rng):
+        matrix = rng.standard_normal((6, 16)) * 0.1
+        geo = round_geometry(updates_from(matrix), np.zeros(16))
+        # MAD-based rule shouldn't flag half the cluster
+        assert len(geo.outliers_by_norm()) <= 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            round_geometry([], np.zeros(4))

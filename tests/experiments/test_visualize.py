@@ -1,0 +1,55 @@
+"""ASCII visualization tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.visualize import ascii_digit, ascii_digit_grid, preview_decoder
+from repro.models import CVAE
+
+
+class TestAsciiDigit:
+    def test_shape_of_output(self):
+        img = np.zeros(64)
+        text = ascii_digit(img)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+
+    def test_intensity_mapping(self):
+        img = np.array([[0.0, 1.0]])
+        text = ascii_digit(img)
+        assert text[0] == " " and text[1] == "@"
+
+    def test_2d_input_accepted(self):
+        text = ascii_digit(np.ones((3, 5)))
+        assert len(text.splitlines()) == 3
+
+    def test_non_square_flat_requires_size(self):
+        with pytest.raises(ValueError):
+            ascii_digit(np.zeros(12))
+
+    def test_out_of_range_clipped(self):
+        text = ascii_digit(np.array([[-1.0, 2.0]]))
+        assert text[0] == " " and text[1] == "@"
+
+
+class TestAsciiDigitGrid:
+    def test_side_by_side(self):
+        images = np.zeros((3, 16))
+        grid = ascii_digit_grid(images, labels=np.array([0, 1, 2]))
+        first_line = grid.splitlines()[0]
+        assert "y=0" in first_line and "y=2" in first_line
+
+    def test_wraps_to_rows(self):
+        images = np.zeros((6, 16))
+        grid = ascii_digit_grid(images, columns=3)
+        # two blocks separated by a blank line
+        assert "\n\n" in grid
+
+
+class TestPreviewDecoder:
+    def test_renders_all_classes(self, rng):
+        cvae = CVAE(input_dim=64, num_classes=4, hidden=16, latent_dim=3, rng=rng)
+        text = preview_decoder(cvae.decoder, rng, image_size=8)
+        for cls in range(4):
+            assert f"y={cls}" in text

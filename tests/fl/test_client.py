@@ -1,0 +1,110 @@
+"""FLClient behaviour: local training, attacks, CVAE lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import LabelFlippingAttack, SignFlippingAttack
+from repro.config import FederationConfig, ModelConfig
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.fl import FLClient
+from repro.models import build_classifier
+
+
+@pytest.fixture
+def client_setup(rng):
+    config = FederationConfig.tiny()
+    dataset = generate_dataset(60, rng, SynthMnistConfig(image_size=8))
+    return config, dataset
+
+
+def global_vector(config):
+    model = build_classifier(config.model, np.random.default_rng(0))
+    return nn.parameters_to_vector(model)
+
+
+class TestFit:
+    def test_returns_update_with_metadata(self, client_setup, rng):
+        config, dataset = client_setup
+        client = FLClient(3, dataset, config, rng)
+        update = client.fit(global_vector(config), include_decoder=False)
+        assert update.client_id == 3
+        assert update.num_samples == 60
+        assert update.decoder_weights is None
+        assert not update.malicious
+        assert np.isfinite(update.train_loss)
+
+    def test_training_changes_weights(self, client_setup, rng):
+        config, dataset = client_setup
+        client = FLClient(0, dataset, config, rng)
+        start = global_vector(config)
+        update = client.fit(start, include_decoder=False)
+        assert not np.allclose(update.weights, start)
+
+    def test_include_decoder_ships_theta(self, client_setup, rng):
+        config, dataset = client_setup
+        client = FLClient(0, dataset, config, rng)
+        update = client.fit(global_vector(config), include_decoder=True)
+        assert update.decoder_weights is not None
+        assert update.decoder_weights.ndim == 1
+
+    def test_cvae_trained_once(self, client_setup, rng):
+        """Paper footnote 5: static partitions → the CVAE is trained once
+        and its decoder reused across rounds."""
+        config, dataset = client_setup
+        client = FLClient(0, dataset, config, rng)
+        first = client.fit(global_vector(config), include_decoder=True)
+        second = client.fit(global_vector(config), include_decoder=True)
+        np.testing.assert_array_equal(first.decoder_weights, second.decoder_weights)
+
+    def test_local_training_learns_local_data(self, client_setup, rng):
+        config, dataset = client_setup
+        config = config.replace(local_epochs=20)
+        client = FLClient(0, dataset, config, rng)
+        update = client.fit(global_vector(config), include_decoder=False)
+        acc = client.evaluate(update.weights)
+        assert acc > 0.5
+
+
+class TestAttacks:
+    def test_model_attack_applied_after_training(self, client_setup, rng):
+        config, dataset = client_setup
+        benign = FLClient(0, dataset, config, np.random.default_rng(7))
+        evil = FLClient(0, dataset, config, np.random.default_rng(7),
+                        attack=SignFlippingAttack())
+        start = global_vector(config)
+        benign_update = benign.fit(start, include_decoder=False)
+        evil_update = evil.fit(start, include_decoder=False)
+        np.testing.assert_allclose(evil_update.weights, -benign_update.weights)
+        assert evil_update.malicious
+
+    def test_data_attack_poisons_dataset_at_construction(self, client_setup, rng):
+        config, dataset = client_setup
+        attack = LabelFlippingAttack()
+        client = FLClient(0, dataset, config, rng, attack=attack)
+        # the client's private labels are flipped relative to the source
+        np.testing.assert_array_equal(
+            client.dataset.labels, attack.flip_labels(dataset.labels)
+        )
+        # the original dataset is untouched
+        assert client.dataset is not dataset
+
+    def test_is_malicious_property(self, client_setup, rng):
+        config, dataset = client_setup
+        assert not FLClient(0, dataset, config, rng).is_malicious
+        assert FLClient(0, dataset, config, rng, attack=SignFlippingAttack()).is_malicious
+
+
+class TestEvaluate:
+    def test_accuracy_range(self, client_setup, rng):
+        config, dataset = client_setup
+        client = FLClient(0, dataset, config, rng)
+        acc = client.evaluate(global_vector(config))
+        assert 0.0 <= acc <= 1.0
+
+    def test_external_dataset(self, client_setup, rng):
+        config, dataset = client_setup
+        other = generate_dataset(30, rng, SynthMnistConfig(image_size=8))
+        client = FLClient(0, dataset, config, rng)
+        acc = client.evaluate(global_vector(config), dataset=other)
+        assert 0.0 <= acc <= 1.0

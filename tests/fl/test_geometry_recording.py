@@ -1,0 +1,61 @@
+"""Server geometry-diagnostic recording tests."""
+
+import numpy as np
+
+from repro.attacks import AttackScenario, no_attack
+from repro.config import FederationConfig
+from repro.defenses import FedAvg
+from repro.fl.simulation import build_federation
+
+
+class TestGeometryRecording:
+    def test_off_by_default(self):
+        server = build_federation(FederationConfig.tiny(), FedAvg(), no_attack())
+        record = server.run_round(1)
+        assert not any(k.startswith("geometry") for k in record.metrics)
+
+    def test_records_all_fields(self):
+        server = build_federation(
+            FederationConfig.tiny(), FedAvg(), no_attack(), record_geometry=True
+        )
+        record = server.run_round(1)
+        for key in ("geometry_mean_cosine", "geometry_min_cosine",
+                    "geometry_norm_dispersion", "geometry_norm_outliers"):
+            assert key in record.metrics
+
+    def test_sign_flip_inflates_norm_dispersion(self):
+        """A flipped weight vector ψ←−ψ produces a delta of ≈ −2ψ₀ — far
+        larger than any benign delta — so the round's norm dispersion
+        explodes relative to a benign round. (The mirror symmetry lives in
+        ψ-space, not delta-space; the norm signature is what update-space
+        defenses actually see.)"""
+        benign = build_federation(
+            FederationConfig.tiny(local_epochs=3), FedAvg(), no_attack(),
+            record_geometry=True,
+        )
+        attacked = build_federation(
+            FederationConfig.tiny(local_epochs=3), FedAvg(),
+            AttackScenario.sign_flipping(0.5), record_geometry=True,
+        )
+        benign_rec = benign.run_round(1)
+        attacked_rec = attacked.run_round(1)
+        assert (
+            attacked_rec.metrics["geometry_norm_dispersion"]
+            > 2 * benign_rec.metrics["geometry_norm_dispersion"]
+        )
+
+    def test_same_value_inflates_norm_dispersion(self):
+        benign = build_federation(
+            FederationConfig.tiny(local_epochs=3), FedAvg(), no_attack(),
+            record_geometry=True,
+        )
+        attacked = build_federation(
+            FederationConfig.tiny(local_epochs=3), FedAvg(),
+            AttackScenario.same_value(0.5), record_geometry=True,
+        )
+        benign_rec = benign.run_round(1)
+        attacked_rec = attacked.run_round(1)
+        assert (
+            attacked_rec.metrics["geometry_norm_dispersion"]
+            > benign_rec.metrics["geometry_norm_dispersion"]
+        )

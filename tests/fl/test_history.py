@@ -1,0 +1,100 @@
+"""History statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.fl.history import History, RoundRecord
+
+
+def record(i, acc, sampled=4, rejected=1, mal_sampled=2, mal_accepted=1,
+           up=1000, down=800, secs=0.5):
+    sampled_ids = list(range(sampled))
+    return RoundRecord(
+        round_idx=i, accuracy=acc, sampled_ids=sampled_ids,
+        accepted_ids=sampled_ids[: sampled - rejected],
+        rejected_ids=sampled_ids[sampled - rejected:],
+        malicious_sampled=mal_sampled, malicious_accepted=mal_accepted,
+        upload_nbytes=up, download_nbytes=down, duration_s=secs,
+    )
+
+
+def history_with(accs, **kw):
+    h = History("s", "sc")
+    for i, a in enumerate(accs, start=1):
+        h.append(record(i, a, **kw))
+    return h
+
+
+class TestTailStats:
+    def test_paper_skip_rule(self):
+        """The paper skips the first 10 of 50 rounds — 20 %."""
+        accs = [0.1] * 10 + [0.9] * 40
+        mean, std = history_with(accs).tail_stats(skip_fraction=0.2)
+        assert mean == pytest.approx(0.9)
+        assert std == pytest.approx(0.0)
+
+    def test_zero_skip(self):
+        mean, _ = history_with([0.0, 1.0]).tail_stats(skip_fraction=0.0)
+        assert mean == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            History("s", "sc").tail_stats()
+
+
+class TestDetectionSummary:
+    def test_perfect_defense(self):
+        # every malicious rejected, no benign rejected
+        h = History("s", "sc")
+        h.append(RoundRecord(
+            round_idx=1, accuracy=0.9, sampled_ids=[0, 1, 2, 3],
+            accepted_ids=[0, 1], rejected_ids=[2, 3],
+            malicious_sampled=2, malicious_accepted=0,
+            upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        ))
+        summary = h.detection_summary()
+        assert summary["tpr"] == 1.0
+        assert summary["fpr"] == 0.0
+
+    def test_no_defense(self):
+        h = History("s", "sc")
+        h.append(RoundRecord(
+            round_idx=1, accuracy=0.5, sampled_ids=[0, 1],
+            accepted_ids=[0, 1], rejected_ids=[],
+            malicious_sampled=1, malicious_accepted=1,
+            upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        ))
+        summary = h.detection_summary()
+        assert summary["tpr"] == 0.0
+        assert summary["fpr"] == 0.0
+
+    def test_no_malicious_gives_nan_tpr(self):
+        h = history_with([0.9], mal_sampled=0, mal_accepted=0, rejected=0)
+        assert np.isnan(h.detection_summary()["tpr"])
+
+
+class TestCommAndTime:
+    def test_means(self):
+        h = History("s", "sc")
+        h.append(record(1, 0.5, up=1000, down=500, secs=1.0))
+        h.append(record(2, 0.6, up=3000, down=1500, secs=2.0))
+        comm = h.comm_per_round()
+        assert comm["server_download_bytes"] == 2000
+        assert comm["server_upload_bytes"] == 1000
+        assert comm["total_bytes"] == 3000
+        assert h.time_per_round() == pytest.approx(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            History("s", "sc").comm_per_round()
+        with pytest.raises(ValueError):
+            History("s", "sc").time_per_round()
+
+
+class TestAccuracies:
+    def test_series_order(self):
+        h = history_with([0.1, 0.2, 0.3])
+        np.testing.assert_allclose(h.accuracies, [0.1, 0.2, 0.3])
+
+    def test_len(self):
+        assert len(history_with([0.5] * 4)) == 4

@@ -1,0 +1,50 @@
+"""Strategy interface and weighted-average operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.fl import ClientUpdate, Strategy, weighted_average
+
+
+def update(cid, vec, n=10, malicious=False):
+    return ClientUpdate(client_id=cid, weights=np.asarray(vec, dtype=float),
+                        num_samples=n, malicious=malicious)
+
+
+class TestWeightedAverage:
+    def test_equal_weights_is_mean(self):
+        updates = [update(0, [1.0, 2.0]), update(1, [3.0, 4.0])]
+        np.testing.assert_allclose(weighted_average(updates), [2.0, 3.0])
+
+    def test_sample_count_weighting(self):
+        updates = [update(0, [0.0], n=1), update(1, [10.0], n=9)]
+        np.testing.assert_allclose(weighted_average(updates), [9.0])
+
+    def test_single_update_identity(self):
+        np.testing.assert_allclose(weighted_average([update(0, [5.0, -1.0])]), [5.0, -1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_average([])
+
+    def test_result_in_convex_hull(self, rng):
+        updates = [update(i, rng.standard_normal(8), n=int(rng.integers(1, 20)))
+                   for i in range(5)]
+        avg = weighted_average(updates)
+        matrix = np.stack([u.weights for u in updates])
+        assert (avg >= matrix.min(axis=0) - 1e-12).all()
+        assert (avg <= matrix.max(axis=0) + 1e-12).all()
+
+
+class TestStrategyBase:
+    def test_aggregate_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Strategy().aggregate(1, [], np.zeros(2), None)
+
+    def test_default_flags(self):
+        s = Strategy()
+        assert not s.needs_decoder
+        assert not s.needs_auxiliary
+
+    def test_setup_is_noop_by_default(self):
+        Strategy().setup(None)  # must not raise

@@ -1,0 +1,87 @@
+"""Dynamic-dataset federation tests (§VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario, no_attack
+from repro.config import FederationConfig
+from repro.defenses import FedAvg, FedGuard
+from repro.fl import run_federation
+from repro.fl.simulation import build_federation
+
+
+def streaming_config(**overrides):
+    base = dict(stream_samples_per_round=10, stream_window=0, cvae_refresh_every=0)
+    base.update(overrides)
+    return FederationConfig.tiny(**base)
+
+
+class TestStreamIngestion:
+    def test_dataset_grows_each_round(self):
+        server = build_federation(streaming_config(), FedAvg(), no_attack())
+        sizes_before = [len(c.dataset) for c in server.clients]
+        server.run_round(1)
+        grew = [
+            len(c.dataset) > before
+            for c, before in zip(server.clients, sizes_before)
+        ]
+        # exactly the sampled clients ingested
+        assert sum(grew) == server.config.clients_per_round
+
+    def test_window_caps_dataset(self):
+        config = streaming_config(stream_window=45)
+        server = build_federation(config, FedAvg(), no_attack())
+        for r in range(1, 4):
+            server.run_round(r)
+        assert all(len(c.dataset) <= 45 for c in server.clients)
+
+    def test_static_config_never_streams(self):
+        server = build_federation(FederationConfig.tiny(), FedAvg(), no_attack())
+        sizes_before = [len(c.dataset) for c in server.clients]
+        server.run_round(1)
+        assert [len(c.dataset) for c in server.clients] == sizes_before
+
+    def test_streamed_labels_poisoned_for_attackers(self):
+        config = streaming_config()
+        scenario = AttackScenario.label_flipping(0.5)
+        server = build_federation(config, FedAvg(), scenario)
+        attack = scenario.attack
+        malicious = next(c for c in server.clients if c.is_malicious)
+        fresh = malicious.stream.next_batch(50)  # peek at the raw stream
+        poisoned = attack.apply(fresh, np.random.default_rng(0))
+        # attacked classes get flipped on ingestion: simulate via ingest
+        malicious.ingest_stream(1)
+        # verify at least the mechanism: with_labels applied — flipped
+        # pairs in the client's data must map consistently
+        assert not np.array_equal(poisoned.labels, fresh.labels) or (
+            not np.isin(fresh.labels, attack.affected_classes).any()
+        )
+
+
+class TestCvaeRefresh:
+    def test_decoder_retrained_on_schedule(self):
+        config = streaming_config(cvae_refresh_every=1, cvae_epochs=2)
+        server = build_federation(config, FedGuard(), no_attack())
+        client = server.clients[0]
+        first = client.decoder_vector().copy()
+        client.ingest_stream(1)  # refresh schedule invalidates the cache
+        assert client._decoder_vector is None
+        second = client.decoder_vector()
+        assert not np.array_equal(first, second)
+
+    def test_no_refresh_keeps_decoder(self):
+        config = streaming_config(cvae_refresh_every=0, cvae_epochs=2)
+        server = build_federation(config, FedGuard(), no_attack())
+        client = server.clients[0]
+        first = client.decoder_vector()
+        client.ingest_stream(1)
+        assert client._decoder_vector is not None
+        np.testing.assert_array_equal(client.decoder_vector(), first)
+
+
+class TestEndToEndStreaming:
+    def test_full_run_completes(self):
+        history = run_federation(
+            streaming_config(rounds=3, cvae_refresh_every=2), FedGuard(), no_attack()
+        )
+        assert len(history) == 3

@@ -1,0 +1,78 @@
+"""Tests for the standalone training helpers (train_classifier/train_cvae)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import SynthMnistConfig, generate_dataset
+from repro.fl.client import train_classifier, train_cvae
+from repro.models import CVAE, MLPClassifier
+
+
+@pytest.fixture
+def data(rng):
+    return generate_dataset(120, rng, SynthMnistConfig(image_size=8))
+
+
+class TestTrainClassifier:
+    def test_returns_final_loss(self, rng, data):
+        model = MLPClassifier(64, hidden=16, rng=rng)
+        loss = train_classifier(model, data, epochs=2, lr=0.1, batch_size=32, rng=rng)
+        assert np.isfinite(loss)
+
+    def test_more_epochs_lower_loss(self, rng, data):
+        def run(epochs):
+            model = MLPClassifier(64, hidden=16, rng=np.random.default_rng(0))
+            return train_classifier(model, data, epochs=epochs, lr=0.1,
+                                    batch_size=32, rng=np.random.default_rng(1))
+
+        assert run(12) < run(1)
+
+    def test_adam_option(self, rng, data):
+        model = MLPClassifier(64, hidden=16, rng=rng)
+        loss = train_classifier(model, data, epochs=2, lr=1e-3, batch_size=32,
+                                rng=rng, optimizer="adam")
+        assert np.isfinite(loss)
+
+    def test_unknown_optimizer(self, rng, data):
+        model = MLPClassifier(64, hidden=16, rng=rng)
+        with pytest.raises(ValueError):
+            train_classifier(model, data, epochs=1, lr=0.1, batch_size=32,
+                             rng=rng, optimizer="lbfgs")
+
+    def test_proximal_term_limits_drift(self, rng, data):
+        def drift(mu):
+            model = MLPClassifier(64, hidden=16, rng=np.random.default_rng(0))
+            start = nn.parameters_to_vector(model)
+            train_classifier(model, data, epochs=4, lr=0.1, batch_size=32,
+                             rng=np.random.default_rng(1), proximal_mu=mu)
+            return np.linalg.norm(nn.parameters_to_vector(model) - start)
+
+        assert drift(10.0) < drift(0.0)
+
+    def test_zero_proximal_identical_to_plain(self, rng, data):
+        """μ=0 must be bit-identical to the non-FedProx path."""
+        def run(mu):
+            model = MLPClassifier(64, hidden=16, rng=np.random.default_rng(0))
+            train_classifier(model, data, epochs=1, lr=0.1, batch_size=32,
+                             rng=np.random.default_rng(1), proximal_mu=mu)
+            return nn.parameters_to_vector(model)
+
+        np.testing.assert_array_equal(run(0.0), run(0.0))
+
+
+class TestTrainCvae:
+    def test_returns_final_loss(self, rng, data):
+        cvae = CVAE(input_dim=64, num_classes=10, hidden=24, latent_dim=4, rng=rng)
+        loss = train_cvae(cvae, data, epochs=2, lr=1e-3, batch_size=32, rng=rng)
+        assert np.isfinite(loss)
+
+    def test_deterministic_given_rngs(self, data):
+        def run():
+            cvae = CVAE(input_dim=64, num_classes=10, hidden=24, latent_dim=4,
+                        rng=np.random.default_rng(0))
+            train_cvae(cvae, data, epochs=2, lr=1e-3, batch_size=32,
+                       rng=np.random.default_rng(1))
+            return nn.parameters_to_vector(cvae)
+
+        np.testing.assert_array_equal(run(), run())

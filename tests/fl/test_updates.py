@@ -1,0 +1,32 @@
+"""ClientUpdate tests."""
+
+import numpy as np
+import pytest
+
+from repro.fl import ClientUpdate
+from repro.nn.serialization import WIRE_BYTES_PER_PARAM
+
+
+class TestClientUpdate:
+    def test_flattens_weights(self):
+        u = ClientUpdate(client_id=1, weights=np.zeros((2, 3)), num_samples=10)
+        assert u.weights.shape == (6,)
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            ClientUpdate(client_id=1, weights=np.zeros(4), num_samples=0)
+
+    def test_upload_bytes_without_decoder(self):
+        u = ClientUpdate(client_id=0, weights=np.zeros(100), num_samples=5)
+        assert u.upload_nbytes == 100 * WIRE_BYTES_PER_PARAM
+
+    def test_upload_bytes_with_decoder(self):
+        u = ClientUpdate(
+            client_id=0, weights=np.zeros(100), num_samples=5,
+            decoder_weights=np.zeros(40),
+        )
+        assert u.upload_nbytes == 140 * WIRE_BYTES_PER_PARAM
+
+    def test_malicious_flag_defaults_false(self):
+        u = ClientUpdate(client_id=0, weights=np.zeros(4), num_samples=1)
+        assert not u.malicious

@@ -1,0 +1,95 @@
+"""End-to-end runs of the extended strategies and FedGuard variants."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario, no_attack
+from repro.config import FederationConfig, ModelConfig
+from repro.defenses import PDGAN, Bulyan, FedCVAE, FedGuard
+from repro.fl import run_federation
+from repro.fl.simulation import build_federation
+
+
+def tiny(**overrides):
+    return FederationConfig.tiny(**overrides)
+
+
+class TestExtendedStrategiesRun:
+    @pytest.mark.parametrize("strategy", [
+        Bulyan(),
+        PDGAN(init_rounds=1, samples=20, gan_epochs=10, hidden=32, latent_dim=4),
+        FedCVAE(surrogate_dim=8, pretrain_rounds=2, pseudo_clients=2,
+                cvae_epochs=5, pretrain_epochs=1),
+    ])
+    def test_completes_federation(self, strategy):
+        history = run_federation(tiny(), strategy, AttackScenario.same_value(0.5))
+        assert len(history) == 2
+        assert all(np.isfinite(r.accuracy) for r in history.rounds)
+
+    def test_pdgan_warmup_accepts_everyone(self):
+        strategy = PDGAN(init_rounds=5, samples=20, gan_epochs=10,
+                         hidden=32, latent_dim=4)
+        history = run_federation(tiny(rounds=2), strategy,
+                                 AttackScenario.same_value(0.5))
+        # both rounds fall inside the warm-up window
+        assert all(not r.rejected_ids for r in history.rounds)
+
+
+class TestClassAwareFedGuard:
+    def test_runs_under_pathological_partition(self):
+        """§VI-B's stress case: clients hold few classes each. Class-aware
+        FedGuard must complete and only ask decoders for classes they know."""
+        config = tiny(partition_scheme="pathological", cvae_epochs=3)
+        history = run_federation(config, FedGuard(class_aware=True), no_attack())
+        assert len(history) == 2
+
+    def test_labels_restricted_to_decoder_classes(self):
+        config = tiny(partition_scheme="pathological", cvae_epochs=2)
+        server = build_federation(config, FedGuard(class_aware=True), no_attack())
+        participants = server.sample_clients()
+        updates = [c.fit(server.global_weights, True) for c in participants]
+        guard = server.strategy
+        _, labels = guard.synthesize(updates, server.context)
+        # each decoder's label block must stay within its advertised classes
+        t = server.context.t_samples
+        for i, update in enumerate(updates):
+            block = labels[i * t : (i + 1) * t]
+            assert np.isin(block, update.decoder_classes).all()
+
+    def test_default_fedguard_ignores_decoder_classes(self):
+        config = tiny(partition_scheme="pathological", cvae_epochs=2)
+        server = build_federation(config, FedGuard(class_aware=False), no_attack())
+        participants = server.sample_clients()
+        updates = [c.fit(server.global_weights, True) for c in participants]
+        _, labels = server.strategy.synthesize(updates, server.context)
+        # stock FedGuard uses the same label block for every decoder
+        t = server.context.t_samples
+        first = labels[:t]
+        for i in range(1, len(updates)):
+            np.testing.assert_array_equal(labels[i * t : (i + 1) * t], first)
+
+
+class TestFedProx:
+    def test_proximal_term_shrinks_drift(self):
+        """With a large μ, local updates must stay closer to the incoming
+        global model than without it."""
+        from repro import nn
+        from repro.defenses import FedAvg
+
+        plain = build_federation(tiny(proximal_mu=0.0), FedAvg(), no_attack())
+        prox = build_federation(tiny(proximal_mu=5.0), FedAvg(), no_attack())
+        start = plain.global_weights.copy()
+
+        plain_updates, _ = plain.backend.fit_clients(
+            plain.sample_clients(), plain.global_weights, False
+        )
+        prox_updates, _ = prox.backend.fit_clients(
+            prox.sample_clients(), prox.global_weights, False
+        )
+        plain_drift = np.mean(
+            [np.linalg.norm(u.weights - start) for u in plain_updates]
+        )
+        prox_drift = np.mean(
+            [np.linalg.norm(u.weights - start) for u in prox_updates]
+        )
+        assert prox_drift < plain_drift

@@ -1,0 +1,100 @@
+"""Behavioural tests for the classifier models."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import CNNClassifier, MLPClassifier, scaled_cnn
+
+from ..conftest import numeric_gradient
+
+
+class TestCNNClassifier:
+    def test_image_size_must_be_divisible_by_4(self):
+        with pytest.raises(ValueError):
+            CNNClassifier(image_size=14)
+
+    def test_output_shape(self, rng):
+        model = scaled_cnn(16, rng)
+        assert model(rng.random((3, 1, 16, 16))).shape == (3, 10)
+
+    def test_predict_returns_labels(self, rng):
+        model = scaled_cnn(16, rng)
+        preds = model.predict(rng.random((5, 256)))
+        assert preds.shape == (5,)
+        assert ((preds >= 0) & (preds < 10)).all()
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        model = scaled_cnn(16, rng)
+        probs = model.predict_proba(rng.random((4, 256)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+
+    def test_end_to_end_gradient(self, rng):
+        model = CNNClassifier(image_size=8, channels=(2, 3), hidden=6,
+                              kernel_size=3, rng=rng)
+        x = rng.random((2, 1, 8, 8))
+        y = np.array([1, 4])
+        ce = nn.SoftmaxCrossEntropy()
+
+        def loss():
+            return ce(model(x), y)
+
+        loss()
+        model.zero_grad()
+        model.backward(ce.backward())
+        p = model.conv1.weight
+        numeric = numeric_gradient(loss, p.data, [0, 5])
+        for idx, num in numeric.items():
+            assert p.grad.ravel()[idx] == pytest.approx(num, abs=1e-6)
+
+    def test_can_overfit_tiny_batch(self, rng):
+        model = scaled_cnn(16, rng)
+        x = rng.random((8, 1, 16, 16))
+        y = rng.integers(0, 10, size=8)
+        opt = nn.Adam(model.parameters(), lr=3e-3)
+        ce = nn.SoftmaxCrossEntropy()
+        for _ in range(150):
+            ce(model(x), y)
+            opt.zero_grad()
+            model.backward(ce.backward())
+            opt.step()
+        assert (model.predict(x.reshape(8, -1)) == y).all()
+
+
+class TestMLPClassifier:
+    def test_shapes(self, rng):
+        model = MLPClassifier(64, hidden=16, rng=rng)
+        assert model(rng.random((3, 64))).shape == (3, 10)
+
+    def test_flattens_image_input(self, rng):
+        model = MLPClassifier(64, hidden=16, rng=rng)
+        assert model(rng.random((3, 1, 8, 8))).shape == (3, 10)
+
+    def test_learns_separable_problem(self, rng):
+        x = np.concatenate([rng.random((20, 64)) + 1.0, rng.random((20, 64)) - 1.0])
+        y = np.array([0] * 20 + [1] * 20)
+        model = MLPClassifier(64, hidden=8, num_classes=2, rng=rng)
+        opt = nn.SGD(model.parameters(), lr=0.5)
+        ce = nn.SoftmaxCrossEntropy()
+        for _ in range(50):
+            ce(model(x), y)
+            opt.zero_grad()
+            model.backward(ce.backward())
+            opt.step()
+        assert (model.predict(x) == y).mean() == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = scaled_cnn(16, np.random.default_rng(5))
+        b = scaled_cnn(16, np.random.default_rng(5))
+        np.testing.assert_array_equal(
+            nn.parameters_to_vector(a), nn.parameters_to_vector(b)
+        )
+
+    def test_different_seed_different_weights(self):
+        a = scaled_cnn(16, np.random.default_rng(5))
+        b = scaled_cnn(16, np.random.default_rng(6))
+        assert not np.array_equal(
+            nn.parameters_to_vector(a), nn.parameters_to_vector(b)
+        )

@@ -1,0 +1,122 @@
+"""Exact checks of the paper's Table II and Table III architectures.
+
+These numbers come straight from the paper and pin our implementations to
+the published design: any architectural drift breaks them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import mnist_cnn, mnist_cvae
+
+
+class TestTableII:
+    """MNIST classifier: 'Total Parameters: 1,662,752 / Total Size 6.65 MB'.
+
+    The paper's per-layer counts exclude biases (32·5·5 = 800 for conv1),
+    so the total is a weights-only count.
+    """
+
+    def test_total_weight_parameters(self):
+        assert mnist_cnn().count_parameters(include_bias=False) == 1_662_752
+
+    def test_per_layer_weight_counts(self):
+        model = mnist_cnn()
+        expected = {
+            "conv1.weight": 800,
+            "conv2.weight": 51_200,
+            "fc1.weight": 1_605_632,
+            "fc2.weight": 5_120,
+        }
+        counts = {
+            name: p.size
+            for name, p in model.named_parameters()
+            if name.endswith("weight")
+        }
+        assert counts == expected
+
+    def test_total_size_mb(self):
+        weights = mnist_cnn().count_parameters(include_bias=False)
+        assert weights * 4 / 1e6 == pytest.approx(6.65, abs=0.005)
+
+    def test_forward_shape_28x28(self):
+        model = mnist_cnn(np.random.default_rng(0))
+        x = np.zeros((2, 1, 28, 28))
+        assert model(x).shape == (2, 10)
+
+    def test_flatten_dimension_is_3136(self):
+        """28 → 28 → 14 → 14 → 7 with same-padding convs; 64·7·7 = 3136
+        (the Table II flatten size — see DESIGN.md on the paper's
+        inconsistent intermediate shapes)."""
+        assert mnist_cnn().flat_features == 3136
+
+    def test_accepts_flat_input(self):
+        model = mnist_cnn(np.random.default_rng(0))
+        x = np.zeros((3, 784))
+        assert model(x).shape == (3, 10)
+
+
+class TestTableIII:
+    """CVAE: 'Total Parameters: 664,834', encoder 1.34 MB, decoder 1.32 MB.
+
+    Unlike Table II, these counts include biases.
+    """
+
+    def test_total_parameters(self):
+        assert mnist_cvae().count_parameters(include_bias=True) == 664_834
+
+    def test_encoder_decoder_split(self):
+        cvae = mnist_cvae()
+        encoder = cvae.encoder.count_parameters()
+        decoder = cvae.decoder.count_parameters()
+        assert encoder + decoder == 664_834
+        # Table III: encoder 1.34 MB, decoder 1.32 MB (float32)
+        assert encoder * 4 / 1e6 == pytest.approx(1.34, abs=0.005)
+        assert decoder * 4 / 1e6 == pytest.approx(1.32, abs=0.005)
+
+    def test_per_layer_counts(self):
+        cvae = mnist_cvae()
+        sizes = {}
+        for name, p in cvae.named_parameters():
+            layer = name.rsplit(".", 1)[0]
+            sizes[layer] = sizes.get(layer, 0) + p.size
+        assert sizes["encoder.fc1"] == 318_000       # 794·400 + 400
+        assert sizes["encoder.fc_mu"] == 8_020       # 400·20 + 20
+        assert sizes["encoder.fc_logvar"] == 8_020
+        assert sizes["decoder.fc1"] == 12_400        # 30·400 + 400
+        assert sizes["decoder.fc2"] == 318_394       # 400·794 + 794
+
+    def test_latent_and_conditioning_dims(self):
+        cvae = mnist_cvae()
+        assert cvae.latent_dim == 20
+        assert cvae.num_classes == 10
+        assert cvae.decoder.fc1.in_features == 30    # z (20) + one-hot (10)
+        assert cvae.encoder.fc1.in_features == 794   # 784 + 10
+
+    def test_decoder_reconstructs_label_too(self):
+        """Table III output shape 794 = 784 pixels + 10 label slots."""
+        cvae = mnist_cvae(np.random.default_rng(0))
+        assert cvae.decoder.out_dim == 794
+        img = cvae.generate(np.array([3, 7]), np.random.default_rng(1))
+        assert img.shape == (2, 784)
+
+    def test_forward_shapes(self):
+        cvae = mnist_cvae(np.random.default_rng(0))
+        x = np.random.default_rng(2).random((4, 784))
+        labels = np.array([0, 1, 2, 3])
+        recon, mu, logvar = cvae.forward(x, labels, np.random.default_rng(3))
+        assert recon.shape == (4, 794)
+        assert mu.shape == (4, 20)
+        assert logvar.shape == (4, 20)
+
+
+class TestWireSizes:
+    def test_classifier_vector_bytes(self):
+        """The flattened-with-biases classifier is what our simulation
+        actually transmits; its size must be consistent with the
+        weights-only Table II number plus the 618 bias terms."""
+        model = mnist_cnn()
+        total = model.count_parameters(include_bias=True)
+        assert total == 1_662_752 + (32 + 64 + 512 + 10)
+        assert nn.vector_nbytes(model) == total * 4

@@ -1,0 +1,48 @@
+"""Plain-VAE tests (Spectral's anomaly detector)."""
+
+import numpy as np
+import pytest
+
+from repro.models import VAE
+
+
+class TestVAE:
+    def test_forward_shapes(self, rng):
+        vae = VAE(input_dim=10, hidden=8, latent_dim=3, rng=rng)
+        recon, mu, logvar = vae.forward(rng.standard_normal((4, 10)), rng)
+        assert recon.shape == (4, 10)
+        assert mu.shape == (4, 3)
+        assert logvar.shape == (4, 3)
+
+    def test_fit_reduces_loss(self, rng):
+        vae = VAE(input_dim=6, hidden=12, latent_dim=2, rng=rng)
+        data = rng.standard_normal((64, 6)) * 0.1 + np.arange(6)
+        history = vae.fit(data, epochs=40, rng=rng, lr=3e-3)
+        assert history[-1] < history[0]
+
+    def test_reconstruction_error_is_deterministic(self, rng):
+        vae = VAE(input_dim=6, hidden=8, latent_dim=2, rng=rng)
+        x = rng.standard_normal((3, 6))
+        np.testing.assert_array_equal(
+            vae.reconstruction_error(x), vae.reconstruction_error(x)
+        )
+
+    def test_reconstruction_error_shape(self, rng):
+        vae = VAE(input_dim=6, hidden=8, latent_dim=2, rng=rng)
+        assert vae.reconstruction_error(rng.standard_normal((5, 6))).shape == (5,)
+
+    def test_outliers_score_higher_after_training(self, rng):
+        """Train on a tight cluster; far-away points must have larger
+        reconstruction error — the property Spectral's filter relies on."""
+        vae = VAE(input_dim=8, hidden=16, latent_dim=2, rng=rng)
+        inliers = rng.standard_normal((128, 8)) * 0.2
+        vae.fit(inliers, epochs=60, rng=rng, lr=3e-3)
+        in_err = vae.reconstruction_error(inliers).mean()
+        outliers = rng.standard_normal((32, 8)) * 0.2 + 10.0
+        out_err = vae.reconstruction_error(outliers).mean()
+        assert out_err > 5 * in_err
+
+    def test_backward_before_forward_raises(self, rng):
+        vae = VAE(input_dim=4, hidden=4, latent_dim=2, rng=rng)
+        with pytest.raises(RuntimeError):
+            vae.backward(np.zeros((1, 4)), np.zeros((1, 2)), np.zeros((1, 2)))

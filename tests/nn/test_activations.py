@@ -1,0 +1,72 @@
+"""Activation layer tests: values and backward-pass correctness."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+def numeric_input_gradient(layer, x, upstream, index, eps=1e-6):
+    """Central difference of sum(layer(x) * upstream) w.r.t. x[index]."""
+    x2 = x.copy()
+    x2[index] += eps
+    plus = np.sum(layer(x2) * upstream)
+    x2[index] -= 2 * eps
+    minus = np.sum(layer(x2) * upstream)
+    return (plus - minus) / (2 * eps)
+
+
+@pytest.mark.parametrize(
+    "layer_cls", [nn.ReLU, nn.Sigmoid, nn.Tanh, nn.Softmax, nn.LeakyReLU]
+)
+class TestBackwardNumeric:
+    def test_input_gradient(self, rng, layer_cls):
+        layer = layer_cls()
+        x = rng.standard_normal((3, 5)) + 0.1  # avoid ReLU kink at exactly 0
+        upstream = rng.standard_normal((3, 5))
+        layer(x)
+        grad = layer.backward(upstream)
+        idx = (1, 2)
+        expected = numeric_input_gradient(layer, x, upstream, idx)
+        assert grad[idx] == pytest.approx(expected, abs=1e-5)
+
+    def test_backward_before_forward_raises(self, rng, layer_cls):
+        with pytest.raises(RuntimeError):
+            layer_cls().backward(rng.standard_normal((2, 2)))
+
+
+class TestReLU:
+    def test_values(self):
+        out = nn.ReLU()(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_gradient_masked(self):
+        relu = nn.ReLU()
+        relu(np.array([[-1.0, 2.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+
+class TestLeakyReLU:
+    def test_negative_slope(self):
+        leaky = nn.LeakyReLU(0.1)
+        out = leaky(np.array([[-2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+
+class TestSigmoid:
+    def test_matches_functional(self, rng):
+        x = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(nn.Sigmoid()(x), F.sigmoid(x))
+
+
+class TestSoftmaxLayer:
+    def test_matches_functional(self, rng):
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(nn.Softmax()(x), F.softmax(x, axis=-1))
+
+    def test_output_distribution(self, rng):
+        out = nn.Softmax()(rng.standard_normal((5, 3)))
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5))
+        assert (out >= 0).all()

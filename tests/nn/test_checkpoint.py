@@ -1,0 +1,70 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import scaled_cvae
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 6, rng=rng), nn.ReLU(), nn.Linear(6, 2, rng=rng))
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        model = make_net(1)
+        path = tmp_path / "model.npz"
+        nn.save_checkpoint(model, path)
+        other = make_net(2)
+        nn.load_checkpoint(other, path)
+        np.testing.assert_array_equal(
+            nn.parameters_to_vector(other), nn.parameters_to_vector(model)
+        )
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = make_net()
+        path = tmp_path / "model.npz"
+        nn.save_checkpoint(model, path, round=17, strategy="fedguard")
+        meta = nn.load_checkpoint(make_net(3), path)
+        assert meta == {"round": "17", "strategy": "fedguard"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "model.npz"
+        nn.save_checkpoint(make_net(), path)
+        assert path.exists()
+
+    def test_extension_added_by_numpy_is_handled(self, tmp_path):
+        # np.savez appends .npz when missing; load must find the file
+        path = tmp_path / "model"
+        nn.save_checkpoint(make_net(1), path)
+        other = make_net(2)
+        nn.load_checkpoint(other, path)
+        np.testing.assert_array_equal(
+            nn.parameters_to_vector(other), nn.parameters_to_vector(make_net(1))
+        )
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "model.npz"
+        nn.save_checkpoint(make_net(), path)
+        wrong = nn.Linear(4, 6)
+        with pytest.raises(KeyError):
+            nn.load_checkpoint(wrong, path)
+
+    def test_cvae_checkpoint(self, tmp_path):
+        """The practical case: persist a client's trained CVAE decoder."""
+        cvae = scaled_cvae(input_dim=64, hidden=24, latent_dim=4,
+                           rng=np.random.default_rng(5))
+        path = tmp_path / "cvae.npz"
+        nn.save_checkpoint(cvae, path, client_id=7)
+        clone = scaled_cvae(input_dim=64, hidden=24, latent_dim=4,
+                            rng=np.random.default_rng(99))
+        meta = nn.load_checkpoint(clone, path)
+        assert meta["client_id"] == "7"
+        labels = np.array([0, 1])
+        z = np.zeros((2, 4))
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            cvae.generate(labels, rng, z=z), clone.generate(labels, rng, z=z)
+        )

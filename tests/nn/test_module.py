@@ -1,0 +1,130 @@
+"""Tests for Module/Parameter registration, traversal and state handling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8, 3, rng=rng),
+    )
+
+
+class TestRegistration:
+    def test_parameter_order_is_stable(self):
+        net = make_net()
+        names = [name for name, _ in net.named_parameters()]
+        assert names == [
+            "layer0.weight", "layer0.bias", "layer2.weight", "layer2.bias",
+        ]
+
+    def test_nested_modules_traversed(self):
+        class Wrapper(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = make_net()
+
+        names = [name for name, _ in Wrapper().named_parameters()]
+        assert all(name.startswith("inner.") for name in names)
+        assert len(names) == 4
+
+    def test_modules_iterates_depth_first(self):
+        net = make_net()
+        mods = list(net.modules())
+        assert mods[0] is net
+        assert len(mods) == 4  # Sequential + 3 layers
+
+
+class TestCountParameters:
+    def test_with_and_without_bias(self):
+        net = make_net()
+        assert net.count_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+        assert net.count_parameters(include_bias=False) == 4 * 8 + 8 * 3
+
+    def test_no_bias_layer(self):
+        layer = nn.Linear(4, 4, bias=False)
+        assert layer.count_parameters() == 16
+        assert layer.count_parameters(include_bias=False) == 16
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = make_net(np.random.default_rng(1)), make_net(np.random.default_rng(2))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = make_net()
+        state = net.state_dict()
+        state["layer0.weight"][...] = 99.0
+        assert not (net.layers[0].weight.data == 99.0).any()
+
+    def test_missing_key_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        del state["layer0.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        state["phantom"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        state["layer0.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        net = nn.Sequential(nn.Linear(4, 4), nn.Dropout(0.5), nn.Linear(4, 2))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_dropout_identity_in_eval(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = rng.standard_normal((8, 8))
+        drop.eval()
+        np.testing.assert_array_equal(drop(x), x)
+
+
+class TestZeroGrad:
+    def test_clears_all_gradients(self, rng):
+        net = make_net()
+        x = rng.standard_normal((5, 4))
+        loss = nn.SoftmaxCrossEntropy()
+        loss(net(x), np.array([0, 1, 2, 0, 1]))
+        net.backward(loss.backward())
+        assert any(np.abs(p.grad).sum() > 0 for p in net.parameters())
+        net.zero_grad()
+        assert all((p.grad == 0).all() for p in net.parameters())
+
+
+class TestSequential:
+    def test_len_and_getitem(self):
+        net = make_net()
+        assert len(net) == 3
+        assert isinstance(net[0], nn.Linear)
+
+    def test_backward_reverses_forward(self, rng):
+        net = make_net()
+        x = rng.standard_normal((2, 4))
+        out = net(x)
+        grad_in = net.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape

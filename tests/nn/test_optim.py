@@ -1,0 +1,113 @@
+"""Optimizer tests: exact update math and convergence behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def quadratic_params(rng):
+    p = Parameter(rng.standard_normal(5))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad[...] = np.array([0.5, -0.5])
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = nn.SGD([p], lr=1.0, momentum=0.5)
+        p.grad[...] = 1.0
+        opt.step()  # v=1, p=-1
+        np.testing.assert_allclose(p.data, [-1.0])
+        p.grad[...] = 1.0
+        opt.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        p.grad[...] = 0.0
+        nn.SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_validation(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            nn.SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_converges_on_quadratic(self, rng):
+        p = quadratic_params(rng)
+        target = np.arange(5.0)
+        opt = nn.SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(500):
+            p.zero_grad()
+            p.grad[...] = 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-5)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        """Adam's bias correction makes the first step ≈ lr regardless of
+        gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = nn.Adam([p], lr=0.01)
+            p.grad[...] = scale
+            opt.step()
+            assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_validation(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            nn.Adam([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            nn.Adam([p], betas=(1.0, 0.999))
+
+    def test_converges_on_quadratic(self, rng):
+        p = quadratic_params(rng)
+        target = np.arange(5.0)
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(500):
+            p.zero_grad()
+            p.grad[...] = 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_zero_grad_via_optimizer(self, rng):
+        p = quadratic_params(rng)
+        p.grad[...] = 3.0
+        opt = nn.Adam([p])
+        opt.zero_grad()
+        assert (p.grad == 0).all()
+
+
+class TestOptimizerTrainsRealModel:
+    @pytest.mark.parametrize("opt_name", ["sgd", "adam"])
+    def test_loss_decreases_on_separable_data(self, rng, opt_name):
+        x = np.concatenate([rng.standard_normal((30, 4)) + 3,
+                            rng.standard_normal((30, 4)) - 3])
+        y = np.array([0] * 30 + [1] * 30)
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        opt = (
+            nn.SGD(model.parameters(), lr=0.1)
+            if opt_name == "sgd"
+            else nn.Adam(model.parameters(), lr=0.01)
+        )
+        ce = nn.SoftmaxCrossEntropy()
+        first = ce(model(x), y)
+        for _ in range(60):
+            ce(model(x), y)
+            opt.zero_grad()
+            model.backward(ce.backward())
+            opt.step()
+        assert ce(model(x), y) < first * 0.2

@@ -1,0 +1,85 @@
+"""Learning-rate scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def make_optimizer(lr=1.0):
+    return nn.SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        opt = make_optimizer(1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(6)]
+        assert rates == [1.0, 0.5, 0.5, 0.25, 0.25, 0.125]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            nn.StepLR(make_optimizer(), step_size=1, gamma=0.0)
+
+    def test_optimizer_lr_mutated(self):
+        opt = make_optimizer(1.0)
+        sched = nn.StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        opt = make_optimizer(2.0)
+        sched = nn.ExponentialLR(opt, gamma=0.5)
+        assert sched.step() == pytest.approx(1.0)
+        assert sched.step() == pytest.approx(0.5)
+
+    def test_gamma_one_is_constant(self):
+        opt = make_optimizer(0.3)
+        sched = nn.ExponentialLR(opt, gamma=1.0)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.3)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        opt = make_optimizer(1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        rates = [sched.step() for _ in range(10)]
+        assert rates[-1] == pytest.approx(0.1)
+        assert rates[0] < 1.0  # already decayed after first step
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=8)
+        rates = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamped_past_t_max(self):
+        opt = make_optimizer(1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=3, eta_min=0.2)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestSchedulerWithTraining:
+    def test_decayed_training_still_converges(self, rng):
+        target = np.arange(4.0)
+        p = Parameter(rng.standard_normal(4))
+        opt = nn.SGD([p], lr=0.3)
+        sched = nn.ExponentialLR(opt, gamma=0.99)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad[...] = 2 * (p.data - target)
+            opt.step()
+            sched.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)

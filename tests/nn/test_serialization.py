@@ -1,0 +1,92 @@
+"""Flat-vector serialization tests — the FL layer's parameter currency."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+
+
+class TestParametersToVector:
+    def test_roundtrip_identity(self, rng):
+        net = make_net()
+        vec = nn.parameters_to_vector(net)
+        other = make_net(seed=99)
+        nn.vector_to_parameters(vec, other)
+        np.testing.assert_array_equal(nn.parameters_to_vector(other), vec)
+        for pa, pb in zip(net.parameters(), other.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_vector_length(self):
+        net = make_net()
+        assert nn.parameters_to_vector(net).size == net.count_parameters()
+
+    def test_out_buffer_reuse(self):
+        net = make_net()
+        buf = np.empty(net.count_parameters())
+        out = nn.parameters_to_vector(net, out=buf)
+        assert out is buf
+
+    def test_out_buffer_wrong_size_raises(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            nn.parameters_to_vector(net, out=np.empty(3))
+
+    def test_canonical_order_matches_named_parameters(self):
+        net = make_net()
+        vec = nn.parameters_to_vector(net)
+        offset = 0
+        for _, p in net.named_parameters():
+            np.testing.assert_array_equal(vec[offset:offset + p.size], p.data.ravel())
+            offset += p.size
+
+
+class TestVectorToParameters:
+    def test_wrong_size_raises(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            nn.vector_to_parameters(np.zeros(3), net)
+
+    def test_writes_in_place(self):
+        net = make_net()
+        before = [p.data for p in net.parameters()]
+        nn.vector_to_parameters(np.zeros(net.count_parameters()), net)
+        for arr, p in zip(before, net.parameters()):
+            assert arr is p.data  # same buffer, contents replaced
+            assert (p.data == 0).all()
+
+    def test_forward_uses_loaded_weights(self, rng):
+        net = make_net()
+        x = rng.standard_normal((2, 3))
+        nn.vector_to_parameters(np.zeros(net.count_parameters()), net)
+        np.testing.assert_array_equal(net(x), np.zeros((2, 2)))
+
+
+class TestByteAccounting:
+    def test_wire_bytes(self):
+        net = make_net()
+        assert nn.vector_nbytes(net) == net.count_parameters() * nn.WIRE_BYTES_PER_PARAM
+        assert nn.vector_nbytes(100) == 400
+
+    def test_paper_classifier_size_mb(self):
+        """Table II reports 6.65 MB for 1,662,752 float32 weights."""
+        from repro.models import mnist_cnn
+        weights_only = mnist_cnn().count_parameters(include_bias=False)
+        assert weights_only * 4 / 1e6 == pytest.approx(6.65, abs=0.01)
+
+
+class TestSplitVector:
+    def test_shapes_and_content(self, rng):
+        shapes = [(2, 3), (3,), (4, 1)]
+        vec = rng.standard_normal(6 + 3 + 4)
+        parts = nn.split_vector(vec, shapes)
+        assert [p.shape for p in parts] == shapes
+        np.testing.assert_array_equal(parts[0].ravel(), vec[:6])
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.split_vector(np.zeros(5), [(2, 2)])

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for aggregation operators.
+
+These pin down the algebraic invariants the defenses rely on:
+permutation invariance, translation equivariance, convex-hull containment,
+and robustness orderings.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.defenses import geometric_median, krum_scores, pairwise_sq_dists
+from repro.fl import ClientUpdate
+from repro.fl.strategy import weighted_average
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+def matrices(min_rows=2, max_rows=8, min_cols=1, max_cols=6):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda r: st.integers(min_cols, max_cols).flatmap(
+            lambda c: arrays(np.float64, (r, c), elements=finite)
+        )
+    )
+
+
+class TestWeightedAverageProperties:
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance(self, matrix):
+        updates = [ClientUpdate(i, row, 10) for i, row in enumerate(matrix)]
+        shuffled = list(reversed(updates))
+        np.testing.assert_allclose(
+            weighted_average(updates), weighted_average(shuffled), atol=1e-9
+        )
+
+    @given(matrices(), st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariance(self, matrix, shift):
+        updates = [ClientUpdate(i, row, 10) for i, row in enumerate(matrix)]
+        shifted = [ClientUpdate(i, row + shift, 10) for i, row in enumerate(matrix)]
+        np.testing.assert_allclose(
+            weighted_average(shifted), weighted_average(updates) + shift, atol=1e-8
+        )
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_convex_hull_containment(self, matrix):
+        updates = [ClientUpdate(i, row, int(i + 1)) for i, row in enumerate(matrix)]
+        avg = weighted_average(updates)
+        assert (avg >= matrix.min(axis=0) - 1e-9).all()
+        assert (avg <= matrix.max(axis=0) + 1e-9).all()
+
+
+class TestGeometricMedianProperties:
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariance(self, matrix):
+        med_a = geometric_median(matrix)
+        med_b = geometric_median(matrix[::-1].copy())
+        np.testing.assert_allclose(med_a, med_b, atol=1e-5)
+
+    @given(matrices(), st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_equivariance(self, matrix, shift):
+        np.testing.assert_allclose(
+            geometric_median(matrix + shift),
+            geometric_median(matrix) + shift,
+            atol=1e-4,
+        )
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_bounding_box_containment(self, matrix):
+        med = geometric_median(matrix)
+        assert (med >= matrix.min(axis=0) - 1e-6).all()
+        assert (med <= matrix.max(axis=0) + 1e-6).all()
+
+    @given(matrices(min_rows=3), st.floats(1.5, 100, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_equivariance(self, matrix, scale):
+        np.testing.assert_allclose(
+            geometric_median(matrix * scale),
+            geometric_median(matrix) * scale,
+            atol=1e-3 * scale,
+        )
+
+
+class TestPairwiseDistanceProperties:
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_nonnegativity_zero_diag(self, matrix):
+        d = pairwise_sq_dists(matrix)
+        np.testing.assert_allclose(d, d.T, atol=1e-8)
+        assert (d >= 0).all()
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_loop(self, matrix):
+        d = pairwise_sq_dists(matrix)
+        n = matrix.shape[0]
+        for i in range(n):
+            for j in range(n):
+                expected = np.sum((matrix[i] - matrix[j]) ** 2)
+                assert abs(d[i, j] - expected) < 1e-6 * max(1.0, expected)
+
+
+class TestKrumScoreProperties:
+    @given(matrices(min_rows=4), st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_scores_finite_and_nonnegative(self, matrix, f):
+        scores = krum_scores(matrix, f)
+        assert scores.shape == (matrix.shape[0],)
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all()
+
+    @given(matrices(min_rows=4))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, matrix):
+        a = krum_scores(matrix, 1)
+        b = krum_scores(matrix + 7.5, 1)
+        np.testing.assert_allclose(a, b, atol=1e-6)

@@ -1,0 +1,98 @@
+"""Property-based tests for attacks and data handling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks import (
+    AdditiveNoiseAttack,
+    LabelFlippingAttack,
+    SameValueAttack,
+    SignFlippingAttack,
+)
+from repro.data import dirichlet_partition, iid_partition
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+vectors = st.integers(1, 64).flatmap(lambda n: arrays(np.float64, (n,), elements=finite))
+
+
+class TestModelAttackProperties:
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_sign_flip_involution(self, w):
+        attack = SignFlippingAttack()
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(attack.apply(attack.apply(w, rng), rng), w)
+
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_sign_flip_preserves_norm(self, w):
+        attack = SignFlippingAttack()
+        flipped = attack.apply(w, np.random.default_rng(0))
+        assert np.linalg.norm(flipped) == np.linalg.norm(w)
+
+    @given(vectors, st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_same_value_output_constant(self, w, c):
+        out = SameValueAttack(value=c).apply(w, np.random.default_rng(0))
+        assert (out == c).all()
+        assert out.shape == w.shape
+
+    @given(vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_additive_noise_is_pure_translation(self, w):
+        attack = AdditiveNoiseAttack(sigma=1.0)
+        rng = np.random.default_rng(0)
+        delta1 = attack.apply(w, rng) - w
+        delta2 = attack.apply(np.zeros_like(w), rng)
+        np.testing.assert_allclose(delta1, delta2, atol=1e-12)
+
+
+class TestLabelFlipProperties:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_involution(self, labels):
+        labels = np.array(labels)
+        attack = LabelFlippingAttack()
+        np.testing.assert_array_equal(
+            attack.flip_labels(attack.flip_labels(labels)), labels
+        )
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_label_histogram_swapped_not_lost(self, labels):
+        labels = np.array(labels)
+        attack = LabelFlippingAttack()
+        before = np.bincount(labels, minlength=10)
+        after = np.bincount(attack.flip_labels(labels), minlength=10)
+        assert before.sum() == after.sum()
+        # swapped pairs exchange counts
+        assert before[5] == after[7] and before[7] == after[5]
+        assert before[4] == after[2] and before[2] == after[4]
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(2, 8),
+        st.floats(0.1, 100.0, allow_nan=False),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dirichlet_exact_cover(self, n_clients, alpha, seed):
+        rng = np.random.default_rng(seed)
+        labels = np.repeat(np.arange(10), 30)
+        parts = dirichlet_partition(labels, n_clients, alpha, rng)
+        joined = np.concatenate(parts)
+        assert len(joined) == len(labels)
+        assert len(np.unique(joined)) == len(labels)
+
+    @given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_iid_exact_cover(self, n_clients, seed):
+        rng = np.random.default_rng(seed)
+        labels = np.repeat(np.arange(5), 20)
+        parts = iid_partition(labels, n_clients, rng)
+        joined = np.concatenate(parts)
+        assert len(joined) == len(labels)
+        assert len(np.unique(joined)) == len(labels)

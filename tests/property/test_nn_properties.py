@@ -1,0 +1,105 @@
+"""Property-based tests for the NN substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.nn import functional as F
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+def batches(max_n=6, max_d=8):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.integers(1, max_d).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=finite)
+        )
+    )
+
+
+class TestSoftmaxProperties:
+    @given(batches())
+    @settings(max_examples=50, deadline=None)
+    def test_simplex_output(self, x):
+        s = F.softmax(x)
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(batches(), st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, x, c):
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + c), atol=1e-9)
+
+    @given(batches())
+    @settings(max_examples=50, deadline=None)
+    def test_argmax_preserved(self, x):
+        # Only meaningful when each row has a clear winner — near-ties can
+        # legitimately flip under floating-point exp/normalization.
+        sorted_rows = np.sort(x, axis=-1)
+        margins = sorted_rows[:, -1] - (sorted_rows[:, -2] if x.shape[1] > 1 else 0)
+        clear = np.atleast_1d(margins) > 1e-6
+        if not clear.any():
+            return
+        np.testing.assert_array_equal(
+            F.softmax(x[clear]).argmax(axis=-1), x[clear].argmax(axis=-1)
+        )
+
+
+class TestSerializationProperties:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, d_in, d_out, seed):
+        rng = np.random.default_rng(seed)
+        model = nn.Sequential(nn.Linear(d_in, d_out, rng=rng), nn.ReLU())
+        vec = nn.parameters_to_vector(model)
+        clone = nn.Sequential(nn.Linear(d_in, d_out), nn.ReLU())
+        nn.vector_to_parameters(vec, clone)
+        np.testing.assert_array_equal(nn.parameters_to_vector(clone), vec)
+
+    @given(arrays(np.float64, (12,), elements=finite))
+    @settings(max_examples=30, deadline=None)
+    def test_load_then_dump_is_identity(self, vec):
+        model = nn.Linear(3, 3)
+        nn.vector_to_parameters(vec, model)
+        np.testing.assert_array_equal(nn.parameters_to_vector(model), vec)
+
+
+class TestOneHotProperties:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_row_sums_and_argmax(self, labels):
+        labels = np.array(labels)
+        oh = F.one_hot(labels, 10)
+        np.testing.assert_array_equal(oh.sum(axis=1), np.ones(len(labels)))
+        np.testing.assert_array_equal(oh.argmax(axis=1), labels)
+
+
+class TestLossProperties:
+    @given(batches(max_n=5, max_d=6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_cross_entropy_nonnegative(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, logits.shape[1], size=logits.shape[0])
+        loss = nn.SoftmaxCrossEntropy()(logits, labels)
+        assert loss >= -1e-12
+
+    @given(batches(max_n=4, max_d=5))
+    @settings(max_examples=40, deadline=None)
+    def test_kl_nonnegative(self, mu):
+        logvar = np.zeros_like(mu)
+        assert nn.gaussian_kl(mu, logvar) >= -1e-12
+
+
+class TestConvLinearity:
+    @given(st.integers(0, 2**31 - 1), st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_is_linear_in_input(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        conv = nn.Conv2d(1, 2, 3, padding=1, bias=False, rng=rng)
+        x = rng.standard_normal((1, 1, 5, 5))
+        y = rng.standard_normal((1, 1, 5, 5))
+        left = conv(x + alpha * y)
+        right = conv(x) + alpha * conv(y)
+        np.testing.assert_allclose(left, right, atol=1e-9)

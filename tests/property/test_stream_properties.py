@@ -1,0 +1,66 @@
+"""Property-based tests for data streams and dataset composition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, SynthMnistConfig
+from repro.data.stream import SynthMnistStream
+
+
+class TestStreamProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_batches_valid(self, seed, n):
+        stream = SynthMnistStream(
+            np.random.default_rng(seed), SynthMnistConfig(image_size=8)
+        )
+        batch = stream.next_batch(n)
+        assert len(batch) == n
+        assert (batch.features >= 0).all() and (batch.features <= 1).all()
+        assert ((batch.labels >= 0) & (batch.labels < 10)).all()
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_drift_preserves_distribution_validity(self, seed, drift, batches):
+        rng = np.random.default_rng(seed)
+        probs = rng.dirichlet(np.ones(10))
+        stream = SynthMnistStream(
+            np.random.default_rng(seed),
+            SynthMnistConfig(image_size=8),
+            class_probs=probs,
+            drift_per_batch=drift,
+        )
+        for _ in range(batches):
+            stream.next_batch(2)
+        assert stream.class_probs.sum() == np.float64(1.0).item() or np.isclose(
+            stream.class_probs.sum(), 1.0
+        )
+        assert (stream.class_probs >= 0).all()
+
+
+class TestDatasetCompositionProperties:
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_lengths_add(self, n1, n2, seed):
+        rng = np.random.default_rng(seed)
+        a = Dataset(rng.random((n1, 4)), rng.integers(0, 3, n1), num_classes=3)
+        b = Dataset(rng.random((n2, 4)), rng.integers(0, 3, n2), num_classes=3)
+        merged = Dataset.concat(a, b)
+        assert len(merged) == n1 + n2
+        np.testing.assert_array_equal(merged.labels[:n1], a.labels)
+        np.testing.assert_array_equal(merged.labels[n1:], b.labels)
+
+    @given(st.integers(1, 30), st.integers(1, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_tail_is_suffix(self, n, window, seed):
+        rng = np.random.default_rng(seed)
+        ds = Dataset(rng.random((n, 3)), rng.integers(0, 2, n), num_classes=2)
+        tail = ds.tail(window)
+        expected = min(n, window)
+        assert len(tail) == expected
+        np.testing.assert_array_equal(tail.features, ds.features[-expected:])

@@ -1,0 +1,47 @@
+"""Smoke checks that every example stays wired to the public API.
+
+Full example runs take minutes (they run real federations) and were
+exercised separately; these tests assert the cheap invariants — every
+example parses, exposes a main(), and its --help works — so API renames
+that would break an example fail the suite immediately.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "attack_comparison",
+        "fedguard_tuning",
+        "custom_strategy",
+        "streaming_federation",
+        "sensor_fault_detection",
+        "audit_introspection",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert 'if __name__ == "__main__":' in source
+    assert "def main(" in source
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_help_runs(path):
+    result = subprocess.run(
+        [sys.executable, str(path), "--help"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "usage" in result.stdout.lower()

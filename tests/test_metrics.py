@@ -1,0 +1,84 @@
+"""Metric tests: confusion matrix, per-class accuracy, attack success rate."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario
+from repro.config import FederationConfig
+from repro.defenses import FedAvg
+from repro.fl import run_federation
+from repro.metrics import attack_success_rate, confusion_matrix, per_class_accuracy
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        true = np.array([0, 0, 1, 2])
+        pred = np.array([0, 1, 1, 2])
+        cm = confusion_matrix(true, pred, 3)
+        expected = np.array([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(cm, expected)
+
+    def test_total_preserved(self, rng):
+        true = rng.integers(0, 5, 100)
+        pred = rng.integers(0, 5, 100)
+        assert confusion_matrix(true, pred, 5).sum() == 100
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 2)
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        true = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 1, 1])
+        acc = per_class_accuracy(true, pred, 3)
+        assert acc[0] == pytest.approx(0.5)
+        assert acc[1] == pytest.approx(1.0)
+        assert np.isnan(acc[2])
+
+    def test_perfect_prediction(self, rng):
+        labels = rng.integers(0, 4, 50)
+        acc = per_class_accuracy(labels, labels, 4)
+        present = np.bincount(labels, minlength=4) > 0
+        np.testing.assert_array_equal(acc[present], 1.0)
+
+
+class TestAttackSuccessRate:
+    PAIRS = ((5, 7), (4, 2))
+
+    def test_fully_defeated(self):
+        true = np.array([5, 7, 4, 2])
+        pred = true.copy()
+        assert attack_success_rate(true, pred, self.PAIRS) == 0.0
+
+    def test_fully_successful(self):
+        true = np.array([5, 7, 4, 2])
+        pred = np.array([7, 5, 2, 4])
+        assert attack_success_rate(true, pred, self.PAIRS) == 1.0
+
+    def test_partial(self):
+        true = np.array([5, 5, 7, 7])
+        pred = np.array([7, 5, 7, 7])  # one of four attacked samples misrouted
+        assert attack_success_rate(true, pred, self.PAIRS) == pytest.approx(0.25)
+
+    def test_misroute_to_other_class_not_counted(self):
+        # predicting a 5 as a 3 is an error but not attack success
+        true = np.array([5])
+        pred = np.array([3])
+        assert attack_success_rate(true, pred, self.PAIRS) == 0.0
+
+    def test_no_attacked_samples_nan(self):
+        assert np.isnan(attack_success_rate(np.array([0]), np.array([0]), self.PAIRS))
+
+
+class TestServerIntegration:
+    def test_label_flip_rounds_carry_asr(self):
+        config = FederationConfig.tiny()
+        history = run_federation(config, FedAvg(), AttackScenario.label_flipping(0.3))
+        assert all("attack_success_rate" in r.metrics for r in history.rounds)
+
+    def test_untargeted_rounds_do_not(self):
+        config = FederationConfig.tiny()
+        history = run_federation(config, FedAvg(), AttackScenario.same_value(0.5))
+        assert all("attack_success_rate" not in r.metrics for r in history.rounds)
