@@ -1,0 +1,140 @@
+"""``python -m repro.analysis`` — run the correctness-tooling passes.
+
+Three passes, all enabled by default:
+
+* **lint** — the RG001–RG005 AST rules over ``src/repro`` (or the given
+  paths);
+* **gradcheck** — finite-difference verification of every public
+  layer/activation/loss backward pass;
+* **contracts** — dynamic audit of every registered defense aggregator
+  under the no-mutation/shape/dtype contract.
+
+Exit status is non-zero on *any* finding, so the command gates CI merges.
+``--strict`` additionally audits the pre-training defenses (Spectral,
+PDGAN, FedCVAE) with scaled-down budgets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .lint import ALL_RULES, RULE_DESCRIPTIONS, lint_paths
+
+__all__ = ["main", "run", "build_parser"]
+
+_PASSES = ("lint", "gradcheck", "contracts")
+
+
+def _default_target() -> pathlib.Path:
+    """The installed ``repro`` package directory (``src/repro`` in-tree)."""
+    return pathlib.Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="FedGuard reproduction correctness tooling "
+                    "(AST lint + gradcheck + runtime contracts)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="files/directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also audit pre-training defenses in the contracts pass",
+    )
+    parser.add_argument(
+        "--skip", action="append", choices=_PASSES, default=[],
+        help="skip a pass (repeatable)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated lint rules to run (default: all)",
+    )
+    parser.add_argument("--rtol", type=float, default=None,
+                        help="gradcheck relative tolerance")
+    parser.add_argument("--atol", type=float, default=None,
+                        help="gradcheck absolute tolerance")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the lint rules and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the analysis passes for an already-parsed namespace.
+
+    Split from :func:`main` so ``repro analyze`` can mount
+    :func:`build_parser` as a parent parser and delegate here.
+    """
+    if args.list_rules:
+        for rule in sorted(ALL_RULES):
+            print(f"{rule}: {RULE_DESCRIPTIONS[rule]}")
+        return 0
+
+    failures = 0
+    skip = set(args.skip)
+
+    if "lint" not in skip:
+        paths = args.paths or [_default_target()]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                "error: no such file or directory: "
+                + ", ".join(str(p) for p in missing),
+                file=sys.stderr,
+            )
+            return 2
+        rules = (
+            [r.strip() for r in args.rules.split(",") if r.strip()]
+            if args.rules else None
+        )
+        try:
+            findings = lint_paths(paths, rules=rules)
+        except ValueError as exc:  # e.g. a typo'd --rules value
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for finding in findings:
+            print(finding.format())
+        print(f"lint: {len(findings)} finding(s) in {len(paths)} path(s)")
+        failures += len(findings)
+
+    if "gradcheck" not in skip:
+        from .gradcheck import DEFAULT_ATOL, DEFAULT_RTOL, run_gradcheck
+
+        results = run_gradcheck(
+            rtol=args.rtol if args.rtol is not None else DEFAULT_RTOL,
+            atol=args.atol if args.atol is not None else DEFAULT_ATOL,
+        )
+        failed = [r for r in results if not r.passed]
+        for r in failed:
+            print(r.format())
+        print(f"gradcheck: {len(results) - len(failed)}/{len(results)} passed")
+        failures += len(failed)
+
+    if "contracts" not in skip:
+        from .runtime import run_contracts_audit
+
+        audits = run_contracts_audit(include_pretrained=args.strict)
+        failed = [a for a in audits if not a.passed]
+        for a in failed:
+            print(a.format())
+        audited = [a for a in audits if not a.skipped]
+        print(
+            f"contracts: {len(audited) - len(failed)}/{len(audited)} strategies "
+            f"passed ({len(audits) - len(audited)} skipped)"
+        )
+        failures += len(failed)
+
+    print("analysis: " + ("OK" if failures == 0 else f"{failures} failure(s)"))
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

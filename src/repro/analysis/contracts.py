@@ -1,0 +1,262 @@
+"""Runtime shape/dtype contracts for hot-path tensor code.
+
+Two decorator families:
+
+* :func:`array_contract` — per-argument shape/dtype preconditions for the
+  pure functions in :mod:`repro.nn.functional`. A violation raises
+  :class:`ContractViolation` naming the argument and the offending
+  shape/dtype instead of letting a bad tensor propagate NaNs through the
+  federation.
+* :func:`aggregate_contract` — the aggregation-operator contract for
+  ``defenses/*.aggregate``: updates are non-empty and dimensionally
+  consistent with the global weights, the aggregator must **not** mutate
+  any client update or the global weight vector in place, and the result
+  must have the global shape (and be finite whenever the inputs were).
+
+Both are **zero-overhead no-ops by default**: the environment variable
+``REPRO_CHECK_CONTRACTS`` is consulted at decoration (import) time and,
+when unset, the decorators return the original function object untouched —
+no wrapper frame, no signature binding, nothing on the hot path. Set
+``REPRO_CHECK_CONTRACTS=1`` before importing :mod:`repro` to activate the
+checks (the CI analysis gate and the contract tests do).
+
+:func:`verify_aggregate` exposes the aggregate contract as a plain
+function that *always* checks, independent of the environment — it is what
+``python -m repro.analysis`` uses to dynamically audit every registered
+defense, and what tests call directly.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "array_contract",
+    "aggregate_contract",
+    "verify_aggregate",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_CHECK_CONTRACTS`` requests runtime contract checks."""
+    return os.environ.get("REPRO_CHECK_CONTRACTS", "").strip().lower() in _TRUTHY
+
+
+class ContractViolation(TypeError):
+    """A runtime shape/dtype/aliasing contract was broken."""
+
+
+# ---------------------------------------------------------------------------
+# array_contract: per-argument tensor preconditions
+# ---------------------------------------------------------------------------
+
+_DTYPE_KINDS = {
+    "floating": "f",
+    "integer": "iu",
+    "numeric": "fiu",
+    "bool": "b",
+}
+
+
+def _check_one(func_name: str, arg_name: str, value, spec: dict) -> None:
+    arr = np.asarray(value)
+    ndim = spec.get("ndim")
+    if ndim is not None:
+        allowed = (ndim,) if isinstance(ndim, int) else tuple(ndim)
+        if arr.ndim not in allowed:
+            raise ContractViolation(
+                f"{func_name}: argument {arg_name!r} must have ndim in "
+                f"{allowed}, got shape {arr.shape} (ndim={arr.ndim})"
+            )
+    min_ndim = spec.get("min_ndim")
+    if min_ndim is not None and arr.ndim < min_ndim:
+        raise ContractViolation(
+            f"{func_name}: argument {arg_name!r} must have ndim >= {min_ndim}, "
+            f"got shape {arr.shape} (ndim={arr.ndim})"
+        )
+    dtype = spec.get("dtype")
+    if dtype is not None:
+        kinds = _DTYPE_KINDS.get(dtype, dtype)
+        if arr.dtype.kind not in kinds:
+            raise ContractViolation(
+                f"{func_name}: argument {arg_name!r} must have dtype kind in "
+                f"{kinds!r} ({dtype}), got dtype {arr.dtype}"
+            )
+
+
+def array_contract(*, force: bool = False, **arg_specs: dict) -> Callable:
+    """Attach shape/dtype preconditions to named array arguments.
+
+    Each keyword maps an argument name to a spec dict with any of:
+    ``ndim`` (int or tuple of ints), ``min_ndim`` (int), ``dtype``
+    (``"floating"``, ``"integer"``, ``"numeric"``, ``"bool"`` or a string
+    of ``np.dtype.kind`` characters).
+
+    Returns the function unchanged unless contracts are enabled (or
+    ``force=True``, used by tests).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        if not (force or contracts_enabled()):
+            return func
+        sig = inspect.signature(func)
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            bound = sig.bind(*args, **kwargs)
+            for arg_name, spec in arg_specs.items():
+                if arg_name in bound.arguments:
+                    _check_one(func.__name__, arg_name, bound.arguments[arg_name], spec)
+            return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# ---------------------------------------------------------------------------
+# aggregate_contract: the defense-aggregator contract
+# ---------------------------------------------------------------------------
+
+
+def _pre_checks(strategy_name: str, updates, global_weights) -> bool:
+    """Validate inputs; returns True when every input vector is finite."""
+    gw = global_weights
+    if not isinstance(gw, np.ndarray) or gw.ndim != 1:
+        raise ContractViolation(
+            f"{strategy_name}.aggregate: global_weights must be a 1-D ndarray, "
+            f"got {type(gw).__name__} with shape {getattr(gw, 'shape', None)}"
+        )
+    if gw.dtype.kind != "f":
+        raise ContractViolation(
+            f"{strategy_name}.aggregate: global_weights must be floating, "
+            f"got dtype {gw.dtype}"
+        )
+    # An empty update list is left to the strategy itself: several defenses
+    # raise their own, more specific error (e.g. "setup() not called") and
+    # the contract must not mask it with a different exception type.
+    finite = bool(np.all(np.isfinite(gw)))
+    for u in updates:
+        w = u.weights
+        if w.shape != gw.shape:
+            raise ContractViolation(
+                f"{strategy_name}.aggregate: client {u.client_id} update has "
+                f"shape {w.shape}, expected {gw.shape}"
+            )
+        if w.dtype.kind != "f":
+            raise ContractViolation(
+                f"{strategy_name}.aggregate: client {u.client_id} update has "
+                f"dtype {w.dtype}, expected floating"
+            )
+        finite = finite and bool(np.all(np.isfinite(w)))
+    return finite
+
+
+def _post_checks(
+    strategy_name: str,
+    result,
+    updates,
+    global_weights,
+    gw_snapshot: np.ndarray,
+    update_snapshots: list[np.ndarray],
+    decoder_snapshots: list[np.ndarray | None],
+    inputs_finite: bool,
+):
+    if not np.array_equal(global_weights, gw_snapshot):
+        raise ContractViolation(
+            f"{strategy_name}.aggregate mutated global_weights in place"
+        )
+    for u, w_snap, d_snap in zip(updates, update_snapshots, decoder_snapshots):
+        if not np.array_equal(u.weights, w_snap):
+            raise ContractViolation(
+                f"{strategy_name}.aggregate mutated the update of client "
+                f"{u.client_id} in place"
+            )
+        if d_snap is not None and not np.array_equal(u.decoder_weights, d_snap):
+            raise ContractViolation(
+                f"{strategy_name}.aggregate mutated the decoder weights of "
+                f"client {u.client_id} in place"
+            )
+    weights = getattr(result, "weights", None)
+    if not isinstance(weights, np.ndarray) or weights.shape != global_weights.shape:
+        raise ContractViolation(
+            f"{strategy_name}.aggregate returned weights of shape "
+            f"{getattr(weights, 'shape', None)}, expected {global_weights.shape}"
+        )
+    if weights.dtype.kind != "f":
+        raise ContractViolation(
+            f"{strategy_name}.aggregate returned dtype {weights.dtype}, "
+            f"expected floating"
+        )
+    if inputs_finite and not np.all(np.isfinite(weights)):
+        bad = int(np.count_nonzero(~np.isfinite(weights)))
+        raise ContractViolation(
+            f"{strategy_name}.aggregate returned {bad} non-finite coordinates "
+            f"from finite inputs"
+        )
+    return result
+
+
+def _checked_call(call: Callable, strategy_name: str, updates, global_weights):
+    inputs_finite = _pre_checks(strategy_name, updates, global_weights)
+    gw_snapshot = global_weights.copy()
+    update_snapshots = [u.weights.copy() for u in updates]
+    decoder_snapshots = [
+        None if u.decoder_weights is None else u.decoder_weights.copy()
+        for u in updates
+    ]
+    result = call()
+    return _post_checks(
+        strategy_name,
+        result,
+        updates,
+        global_weights,
+        gw_snapshot,
+        update_snapshots,
+        decoder_snapshots,
+        inputs_finite,
+    )
+
+
+def aggregate_contract(method: Callable) -> Callable:
+    """Wrap a ``Strategy.aggregate`` method with the aggregation contract.
+
+    No-op (returns ``method`` unchanged) unless contracts are enabled at
+    import time via ``REPRO_CHECK_CONTRACTS=1``.
+    """
+    if not contracts_enabled():
+        return method
+
+    @functools.wraps(method)
+    def wrapper(self, round_idx, updates, global_weights, context):
+        return _checked_call(
+            lambda: method(self, round_idx, updates, global_weights, context),
+            type(self).__name__,
+            updates,
+            global_weights,
+        )
+
+    return wrapper
+
+
+def verify_aggregate(strategy, round_idx, updates, global_weights, context):
+    """Run ``strategy.aggregate`` under the full contract, unconditionally.
+
+    Used by the ``python -m repro.analysis`` contracts pass and by tests;
+    works whether or not ``REPRO_CHECK_CONTRACTS`` is set.
+    """
+    return _checked_call(
+        lambda: strategy.aggregate(round_idx, updates, global_weights, context),
+        type(strategy).__name__,
+        updates,
+        global_weights,
+    )

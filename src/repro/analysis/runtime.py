@@ -1,0 +1,144 @@
+"""Dynamic contract audit: run every registered defense under the
+aggregation contract on a tiny synthetic federation round.
+
+Static analysis (RG002) catches the in-place mutations it can see in the
+AST; this pass catches the rest by construction — each strategy in
+``STRATEGY_FACTORIES`` aggregates a round of tiny synthetic client updates
+through :func:`repro.analysis.contracts.verify_aggregate`, which snapshots
+every input array and raises if the aggregator mutated any of them, or
+returned weights of the wrong shape/dtype, or produced non-finite output
+from finite input.
+
+Strategies with a pre-training phase (``needs_auxiliary``) are expensive to
+set up and therefore only audited when ``include_pretrained=True`` (the
+``--strict`` CLI mode); they run with drastically scaled-down budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..config import ModelConfig
+from ..data import SynthMnistConfig, generate_dataset
+from ..fl.strategy import ServerContext
+from ..fl.updates import ClientUpdate
+from ..models import build_classifier, build_cvae, build_decoder
+from .contracts import ContractViolation, verify_aggregate
+
+__all__ = ["ContractAuditResult", "run_contracts_audit"]
+
+# Deliberately tiny: the audit checks the aggregation *contract*, not
+# statistical behaviour, so the smallest federation that exercises every
+# code path is the right size.
+_MODEL_CFG = ModelConfig(
+    kind="mlp", image_size=8, mlp_hidden=16, cvae_hidden=16, cvae_latent=3
+)
+_N_CLIENTS = 6
+
+# Scaled-down constructor overrides for strategies whose defaults assume a
+# real pre-training budget.
+_TINY_FACTORIES: dict[str, Callable] = {}
+
+
+def _tiny_factories() -> dict[str, Callable]:
+    if not _TINY_FACTORIES:
+        from ..defenses import PDGAN, FedCVAE, Spectral
+
+        _TINY_FACTORIES.update(
+            {
+                "spectral": lambda: Spectral(
+                    pretrain_rounds=1, pseudo_clients=2, vae_epochs=2,
+                    pretrain_epochs=1,
+                ),
+                "pdgan": lambda: PDGAN(init_rounds=0, samples=16, gan_epochs=2),
+                "fedcvae": lambda: FedCVAE(
+                    pretrain_rounds=2, pseudo_clients=2, cvae_epochs=2,
+                    pretrain_epochs=1,
+                ),
+            }
+        )
+    return _TINY_FACTORIES
+
+
+@dataclass
+class ContractAuditResult:
+    """Outcome of auditing one registered strategy."""
+
+    strategy: str
+    passed: bool
+    skipped: bool = False
+    detail: str = ""
+
+    def format(self) -> str:
+        if self.skipped:
+            return f"{self.strategy}: skipped ({self.detail})"
+        status = "ok" if self.passed else "FAIL"
+        return f"{self.strategy}: {status}" + (f" — {self.detail}" if self.detail else "")
+
+
+def _build_round(seed: int = 0):
+    """A deterministic tiny context plus one round of client updates."""
+    rng = np.random.default_rng(seed)
+    aux = generate_dataset(80, rng, SynthMnistConfig(image_size=_MODEL_CFG.image_size))
+    context = ServerContext(
+        make_classifier=lambda: build_classifier(_MODEL_CFG, np.random.default_rng(1)),
+        make_decoder=lambda: build_decoder(_MODEL_CFG, np.random.default_rng(1)),
+        num_classes=_MODEL_CFG.num_classes,
+        t_samples=10,
+        class_probs=np.full(_MODEL_CFG.num_classes, 1.0 / _MODEL_CFG.num_classes),
+        rng=np.random.default_rng(2),
+        auxiliary_dataset=aux,
+    )
+    base = nn.parameters_to_vector(context.make_classifier())
+    theta = nn.parameters_to_vector(
+        build_cvae(_MODEL_CFG, np.random.default_rng(3)).decoder
+    )
+    updates = [
+        ClientUpdate(
+            client_id=i,
+            weights=base + 0.05 * rng.standard_normal(base.size),
+            num_samples=10 + i,
+            decoder_weights=theta + 0.01 * rng.standard_normal(theta.size),
+            decoder_classes=np.arange(_MODEL_CFG.num_classes),
+        )
+        for i in range(_N_CLIENTS)
+    ]
+    return context, base, updates
+
+
+def run_contracts_audit(include_pretrained: bool = False) -> list[ContractAuditResult]:
+    """Audit every registered strategy against the aggregation contract."""
+    from ..experiments import STRATEGY_FACTORIES
+
+    context, base, updates = _build_round()
+    results = []
+    for name in sorted(STRATEGY_FACTORIES):
+        factory = _tiny_factories().get(name, STRATEGY_FACTORIES[name])
+        strategy = factory()
+        if strategy.needs_auxiliary and not include_pretrained:
+            results.append(
+                ContractAuditResult(
+                    strategy=name, passed=True, skipped=True,
+                    detail="needs pre-training; audited only in --strict mode",
+                )
+            )
+            continue
+        try:
+            strategy.setup(context)
+            verify_aggregate(strategy, 1, updates, base, context)
+        except ContractViolation as exc:
+            results.append(ContractAuditResult(strategy=name, passed=False, detail=str(exc)))
+        except Exception as exc:  # any crash during aggregation fails the audit
+            results.append(
+                ContractAuditResult(
+                    strategy=name, passed=False,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            results.append(ContractAuditResult(strategy=name, passed=True))
+    return results

@@ -1,12 +1,12 @@
 """Poisoning attacks and attack scenarios (paper Section IV-B)."""
 
 from .backdoor import BackdoorAttack, apply_trigger, backdoor_success_rate
-from .composite import CompositeAttack
 from .base import Attack, DataPoisoningAttack, ModelPoisoningAttack
+from .composite import CompositeAttack
 from .data_poisoning import PAPER_FLIP_PAIRS, LabelFlippingAttack
 from .decoder_poisoning import DecoderPoisoningAttack
-from .optimized import DirectedDeviationAttack, ScalingAttack
 from .model_poisoning import AdditiveNoiseAttack, SameValueAttack, SignFlippingAttack
+from .optimized import DirectedDeviationAttack, ScalingAttack
 from .scenario import PAPER_SCENARIOS, AttackScenario, no_attack
 from .sensor_fault import SensorFaultAttack
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Dataset
-from .base import Attack, DataPoisoningAttack, ModelPoisoningAttack
+from .base import DataPoisoningAttack, ModelPoisoningAttack
 
 __all__ = ["CompositeAttack"]
 

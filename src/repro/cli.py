@@ -11,6 +11,9 @@ Commands
 ``table4`` / ``table5`` / ``fig4`` / ``fig5``
     Regenerate the paper's tables/figures — from persisted results where
     available (``--results DIR``), running the federations otherwise.
+``analyze``
+    Run the correctness tooling (AST lint + gradcheck + runtime contract
+    audit); arguments are forwarded to ``python -m repro.analysis``.
 
 Examples
 --------
@@ -122,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
     f5_p.add_argument("--csv", type=pathlib.Path, default=None)
     _add_config_args(f5_p)
 
+    from .analysis.cli import build_parser as build_analysis_parser
+
+    sub.add_parser(
+        "analyze",
+        help="run the correctness tooling (AST lint + gradcheck + contracts)",
+        parents=[build_analysis_parser()],
+        add_help=False,
+    )
+
     return parser
 
 
@@ -138,6 +150,11 @@ def _matrix_results(args):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "analyze":
+        from .analysis.cli import run as run_analysis
+
+        return run_analysis(args)
 
     if args.command == "list":
         print("strategies:")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy
 from ..fl.updates import ClientUpdate
 from .krum import krum_scores
@@ -35,6 +36,7 @@ class Bulyan(Strategy):
     def __init__(self, n_byzantine: int | None = None) -> None:
         self.n_byzantine = n_byzantine
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from ..fl.updates import ClientUpdate
 
@@ -19,6 +20,7 @@ class FedAvg(Strategy):
 
     name = "fedavg"
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

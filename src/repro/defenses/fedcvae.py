@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..analysis.contracts import aggregate_contract
 from ..fl.client import train_classifier
 from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from ..fl.updates import ClientUpdate
@@ -144,6 +145,7 @@ class FedCVAE(Strategy):
         recon = self._cvae.decoder(mu, y)
         return np.sum((recon - squashed) ** 2, axis=1)
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from .. import nn
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from ..fl.updates import ClientUpdate
 
@@ -166,6 +167,7 @@ class FedGuard(Strategy):
         return np.concatenate(features), np.concatenate(all_labels)
 
     # -- Alg. 1 lines 5-7: score and select ------------------------------------
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy
 from ..fl.updates import ClientUpdate
 
@@ -63,6 +64,7 @@ class GeoMed(Strategy):
         self.max_iter = max_iter
         self.tol = tol
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

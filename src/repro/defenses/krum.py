@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy
 from ..fl.updates import ClientUpdate
 
@@ -69,6 +70,7 @@ class Krum(Strategy):
         self.n_byzantine = n_byzantine
         self.multi = multi
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

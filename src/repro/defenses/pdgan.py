@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from ..fl.updates import ClientUpdate
 from ..models.gan import GAN
@@ -89,6 +90,7 @@ class PDGAN(Strategy):
         )
         self._gan.fit(aux.features, epochs=self.gan_epochs, rng=self._rng)
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import aggregate_contract
 from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from ..fl.updates import ClientUpdate
 
@@ -21,6 +22,7 @@ class CoordinateMedian(Strategy):
 
     name = "coord_median"
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,
@@ -50,6 +52,7 @@ class TrimmedMean(Strategy):
             raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
         self.trim_fraction = trim_fraction
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,
@@ -88,6 +91,7 @@ class NormThresholding(Strategy):
             raise ValueError(f"threshold must be positive, got {threshold}")
         self.threshold = threshold
 
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..analysis.contracts import aggregate_contract
 from ..fl.client import train_classifier
 from ..fl.strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from ..fl.updates import ClientUpdate
@@ -148,6 +149,7 @@ class Spectral(Strategy):
         self._vae.fit(standardized, epochs=self.vae_epochs, rng=rng, lr=1e-3)
 
     # -- per-round filtering ---------------------------------------------------------
+    @aggregate_contract
     def aggregate(
         self,
         round_idx: int,

@@ -5,8 +5,6 @@ from .figures import fig4_series, fig5_series
 from .replication import ReplicationResult, replicate_cell
 from .reporting import ascii_series, markdown_table, series_to_csv
 from .runner import ResultMatrix, run_cell, run_matrix
-from .update_geometry import RoundGeometry, cosine_matrix, round_geometry
-from .visualize import ascii_digit, ascii_digit_grid, preview_decoder
 from .scenarios import (
     SCENARIO_FACTORIES,
     STRATEGY_FACTORIES,
@@ -16,6 +14,8 @@ from .scenarios import (
     paper_strategy_names,
 )
 from .tables import CommBudget, table4, table5, table5_analytic
+from .update_geometry import RoundGeometry, cosine_matrix, round_geometry
+from .visualize import ascii_digit, ascii_digit_grid, preview_decoder
 
 __all__ = [
     "run_cell",

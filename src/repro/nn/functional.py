@@ -9,11 +9,19 @@ The convolution primitives follow the classic im2col/col2im scheme: a
 columns so that the convolution itself becomes a single BLAS ``matmul`` —
 per the HPC guidance, there are no per-sample or per-pixel Python loops
 anywhere in the forward or backward passes.
+
+Every public function carries an :func:`~repro.analysis.contracts.array_contract`
+shape/dtype precondition. The decorators are no-ops (the raw functions,
+zero wrapper overhead) unless ``REPRO_CHECK_CONTRACTS=1`` is set, in which
+case a malformed tensor raises immediately with its offending shape
+instead of propagating NaNs through a federation.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..analysis.contracts import array_contract
 
 __all__ = [
     "im2col_indices",
@@ -74,6 +82,7 @@ def im2col_indices(
     return k, i, j
 
 
+@array_contract(x={"ndim": 4, "dtype": "numeric"})
 def im2col(
     x: np.ndarray,
     field_height: int,
@@ -110,6 +119,7 @@ def im2col(
     return cols
 
 
+@array_contract(cols={"ndim": 2, "dtype": "numeric"})
 def col2im(
     cols: np.ndarray,
     x_shape: tuple[int, int, int, int],
@@ -136,11 +146,13 @@ def col2im(
     return x_padded[:, :, padding:-padding, padding:-padding]
 
 
+@array_contract(x={"dtype": "numeric"})
 def relu(x: np.ndarray) -> np.ndarray:
     """Elementwise rectified linear unit."""
     return np.maximum(x, 0.0)
 
 
+@array_contract(x={"dtype": "floating"})
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable elementwise logistic sigmoid."""
     out = np.empty_like(x, dtype=np.float64)
@@ -151,6 +163,7 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     return out.astype(x.dtype, copy=False)
 
 
+@array_contract(x={"min_ndim": 1, "dtype": "floating"})
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
     shifted = x - np.max(x, axis=axis, keepdims=True)
@@ -158,12 +171,14 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return e / np.sum(e, axis=axis, keepdims=True)
 
 
+@array_contract(x={"min_ndim": 1, "dtype": "floating"})
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable log-softmax along ``axis``."""
     shifted = x - np.max(x, axis=axis, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
+@array_contract(labels={"dtype": "integer"})
 def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
     """Encode integer ``labels`` of shape (N,) as a (N, num_classes) matrix."""
     labels = np.asarray(labels)

@@ -1,0 +1,218 @@
+"""Unit tests for the runtime contract decorators and verify_aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    aggregate_contract,
+    array_contract,
+    contracts_enabled,
+    verify_aggregate,
+)
+from repro.fl.strategy import AggregationResult, Strategy
+from repro.fl.updates import ClientUpdate
+
+
+def _updates(n=4, dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        ClientUpdate(
+            client_id=i,
+            weights=rng.standard_normal(dim),
+            num_samples=10,
+            decoder_weights=rng.standard_normal(3),
+        )
+        for i in range(n)
+    ]
+
+
+class _Mean(Strategy):
+    name = "mean"
+
+    def aggregate(self, round_idx, updates, global_weights, context):
+        stacked = np.stack([u.weights for u in updates])
+        return AggregationResult(
+            weights=stacked.mean(axis=0),
+            accepted_ids=[u.client_id for u in updates],
+        )
+
+
+class TestArrayContract:
+    def test_disabled_by_default_returns_original_function(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK_CONTRACTS", raising=False)
+        assert not contracts_enabled()
+
+        def f(x):
+            return x
+
+        assert array_contract(x={"ndim": 2})(f) is f
+
+    def test_enabled_via_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_CONTRACTS", "1")
+        assert contracts_enabled()
+
+        @array_contract(x={"ndim": 1})
+        def f(x):
+            return x
+
+        assert f is not f.__wrapped__
+        with pytest.raises(ContractViolation):
+            f(np.zeros((2, 2)))
+
+    def test_force_checks_ndim(self):
+        @array_contract(force=True, x={"ndim": 2})
+        def f(x):
+            return x.sum()
+
+        assert f(np.ones((2, 3))) == 6.0
+        with pytest.raises(ContractViolation, match="ndim"):
+            f(np.ones(3))
+
+    def test_force_checks_ndim_tuple_and_min_ndim(self):
+        @array_contract(force=True, x={"ndim": (2, 4)}, y={"min_ndim": 1})
+        def f(x, y):
+            return 0
+
+        f(np.ones((2, 2)), np.ones(1))
+        f(np.ones((1, 1, 1, 1)), np.ones((2, 2)))
+        with pytest.raises(ContractViolation):
+            f(np.ones((1, 1, 1)), np.ones(1))
+        with pytest.raises(ContractViolation):
+            f(np.ones((2, 2)), np.ones(()))
+
+    def test_force_checks_dtype_families(self):
+        @array_contract(force=True, x={"dtype": "floating"}, n={"dtype": "integer"})
+        def f(x, n):
+            return 0
+
+        f(np.ones(2), np.arange(2))
+        with pytest.raises(ContractViolation, match="dtype"):
+            f(np.arange(2), np.arange(2))
+        with pytest.raises(ContractViolation, match="dtype"):
+            f(np.ones(2), np.ones(2))
+
+    def test_violation_message_names_argument_and_shape(self):
+        @array_contract(force=True, x={"ndim": 4})
+        def conv_input(x):
+            return x
+
+        with pytest.raises(ContractViolation, match=r"'x'.*\(2, 3\)"):
+            conv_input(np.zeros((2, 3)))
+
+    def test_kwargs_and_defaults_are_bound(self):
+        @array_contract(force=True, labels={"dtype": "integer"})
+        def f(labels=None):
+            return labels
+
+        assert f() is None or True  # default (unbound) args are not checked
+        with pytest.raises(ContractViolation):
+            f(labels=np.ones(2))
+
+
+class TestAggregateContract:
+    def test_noop_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK_CONTRACTS", raising=False)
+
+        def aggregate(self, round_idx, updates, global_weights, context):
+            return None
+
+        assert aggregate_contract(aggregate) is aggregate
+
+
+class TestVerifyAggregate:
+    def test_pure_strategy_passes(self):
+        updates = _updates()
+        base = np.zeros(6)
+        result = verify_aggregate(_Mean(), 1, updates, base, None)
+        assert isinstance(result, AggregationResult)
+        assert result.weights.shape == base.shape
+
+    def test_catches_global_weights_mutation(self):
+        class Bad(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                global_weights += 1.0
+                return AggregationResult(weights=global_weights.copy())
+
+        with pytest.raises(ContractViolation, match="mutated global_weights"):
+            verify_aggregate(Bad(), 1, _updates(), np.zeros(6), None)
+
+    def test_catches_update_mutation(self):
+        class Bad(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                updates[0].weights[:] = 0.0
+                return super().aggregate(round_idx, updates, global_weights, context)
+
+        with pytest.raises(ContractViolation, match="mutated the update of client 0"):
+            verify_aggregate(Bad(), 1, _updates(), np.zeros(6), None)
+
+    def test_catches_decoder_mutation(self):
+        class Bad(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                updates[1].decoder_weights *= 2.0
+                return super().aggregate(round_idx, updates, global_weights, context)
+
+        with pytest.raises(ContractViolation, match="decoder weights"):
+            verify_aggregate(Bad(), 1, _updates(), np.zeros(6), None)
+
+    def test_catches_wrong_result_shape(self):
+        class Bad(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                return AggregationResult(weights=np.zeros(3))
+
+        with pytest.raises(ContractViolation, match="shape"):
+            verify_aggregate(Bad(), 1, _updates(), np.zeros(6), None)
+
+    def test_catches_nonfinite_output_from_finite_input(self):
+        class Bad(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                return AggregationResult(weights=np.full(6, np.nan))
+
+        with pytest.raises(ContractViolation, match="finite"):
+            verify_aggregate(Bad(), 1, _updates(), np.zeros(6), None)
+
+    def test_nonfinite_input_relaxes_finiteness_requirement(self):
+        # A poisoned federation can legitimately submit non-finite updates;
+        # the aggregator is then allowed to return non-finite weights.
+        updates = _updates()
+        updates[0].weights[:] = np.inf
+
+        class Passthrough(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                return AggregationResult(weights=np.stack(
+                    [u.weights for u in updates]
+                ).mean(axis=0))
+
+        result = verify_aggregate(Passthrough(), 1, updates, np.zeros(6), None)
+        assert not np.all(np.isfinite(result.weights))
+
+    def test_rejects_shape_mismatched_update(self):
+        updates = _updates()
+        updates[2].weights = np.zeros(9)
+        with pytest.raises(ContractViolation, match="client 2"):
+            verify_aggregate(_Mean(), 1, updates, np.zeros(6), None)
+
+    def test_empty_updates_left_to_strategy(self):
+        class Picky(_Mean):
+            def aggregate(self, round_idx, updates, global_weights, context):
+                if not updates:
+                    raise RuntimeError("needs at least one update")
+                return super().aggregate(round_idx, updates, global_weights, context)
+
+        with pytest.raises(RuntimeError, match="at least one"):
+            verify_aggregate(Picky(), 1, [], np.zeros(6), None)
+
+
+class TestDecoratedDefenses:
+    def test_decorated_fedavg_still_aggregates(self):
+        from repro.defenses import FedAvg
+
+        updates = _updates()
+        result = FedAvg().aggregate(1, updates, np.zeros(6), None)
+        assert result.weights.shape == (6,)
+
+    def test_decorated_functional_ops_unchanged(self):
+        from repro.nn import functional as F
+
+        x = np.linspace(-1, 1, 12).reshape(3, 4)
+        np.testing.assert_allclose(F.softmax(x).sum(axis=-1), 1.0)

@@ -1,0 +1,32 @@
+"""The dynamic contracts audit over the registered strategy matrix."""
+
+from repro.analysis.runtime import ContractAuditResult, run_contracts_audit
+from repro.experiments import STRATEGY_FACTORIES
+
+
+class TestContractsAudit:
+    def test_fast_audit_covers_every_registered_strategy(self):
+        results = run_contracts_audit(include_pretrained=False)
+        assert [r.strategy for r in results] == sorted(STRATEGY_FACTORIES)
+
+    def test_fast_audit_passes_clean_tree(self):
+        results = run_contracts_audit(include_pretrained=False)
+        failed = [r for r in results if not r.passed]
+        assert failed == [], "\n".join(r.format() for r in failed)
+        # Pre-training strategies are deferred to --strict, not dropped.
+        skipped = {r.strategy for r in results if r.skipped}
+        assert skipped == {
+            name
+            for name, factory in STRATEGY_FACTORIES.items()
+            if factory().needs_auxiliary
+        }
+
+    def test_result_formatting(self):
+        ok = ContractAuditResult(strategy="fedavg", passed=True)
+        assert ok.format() == "fedavg: ok"
+        bad = ContractAuditResult(strategy="krum", passed=False, detail="boom")
+        assert "FAIL" in bad.format() and "boom" in bad.format()
+        skip = ContractAuditResult(
+            strategy="spectral", passed=True, skipped=True, detail="pretrain"
+        )
+        assert "skipped" in skip.format()

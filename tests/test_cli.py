@@ -19,6 +19,7 @@ class TestParser:
         parser.parse_args(["table5"])
         parser.parse_args(["fig4"])
         parser.parse_args(["fig5"])
+        parser.parse_args(["analyze", "--list-rules"])
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(SystemExit):
@@ -113,3 +114,16 @@ class TestFig4FromPersisted:
         ]) == 0
         assert (csv_dir / "fig4_no_attack.csv").exists()
         assert "Fig. 4" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_list_rules_smoke(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RG001" in out and "RG005" in out
+
+    def test_lint_only_pass_on_clean_tree(self, capsys):
+        assert main(["analyze", "--skip", "gradcheck", "--skip", "contracts"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: 0 finding(s)" in out
+        assert "analysis: OK" in out
