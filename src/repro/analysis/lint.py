@@ -24,6 +24,12 @@ RG004     Defense/attack class present in its module but missing from the
 RG005     float32/float16 dtype literals inside :mod:`repro.nn` hot paths.
           The framework is float64 end-to-end; a stray narrow dtype
           introduces silent precision cliffs in gradient accumulation.
+RG006     Hand-rolled wire-byte arithmetic (``... * WIRE_BYTES_PER_PARAM``)
+          outside :mod:`repro.fl.transport`. Byte accounting lives in one
+          place — the transport layer — so Table V numbers cannot drift
+          between call sites. Use ``transport.payload_nbytes`` /
+          ``broadcast_nbytes`` / ``update_nbytes`` (or
+          ``nn.serialization.vector_nbytes`` at the definition site).
 ========  =============================================================
 
 Any finding can be suppressed per line with ``# noqa: RGxxx`` (or a bare
@@ -61,6 +67,7 @@ RULE_DESCRIPTIONS = {
     "RG003": "nn.Module subclass with unpaired forward/backward",
     "RG004": "defense/attack class missing from module __all__ or package registry",
     "RG005": "narrow float dtype (float32/float16) in nn/ hot path",
+    "RG006": "wire-byte arithmetic outside repro.fl.transport",
 }
 ALL_RULES = frozenset(RULE_DESCRIPTIONS)
 
@@ -507,6 +514,43 @@ def _check_rg005(tree: ast.Module, path: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RG006 — wire-byte arithmetic outside the transport layer
+# ---------------------------------------------------------------------------
+
+_WIRE_CONSTANT = "WIRE_BYTES_PER_PARAM"
+
+
+def _names_wire_constant(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Name) and node.id == _WIRE_CONSTANT) or (
+        isinstance(node, ast.Attribute) and node.attr == _WIRE_CONSTANT
+    )
+
+
+def _check_rg006(tree: ast.Module, path: str) -> list[Finding]:
+    parts = pathlib.PurePath(path).parts
+    # The transport layer owns byte accounting; it may do the arithmetic.
+    if pathlib.PurePath(path).name == "transport.py" and "fl" in parts:
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+            continue
+        if _names_wire_constant(node.left) or _names_wire_constant(node.right):
+            findings.append(
+                Finding(
+                    "RG006",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "hand-rolled wire-byte arithmetic (`* WIRE_BYTES_PER_PARAM`); "
+                    "byte accounting belongs to repro.fl.transport "
+                    "(payload_nbytes / broadcast_nbytes / update_nbytes)",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -542,6 +586,8 @@ def lint_source(
         findings.extend(_check_rg004(tree, path, package_all))
     if "RG005" in active:
         findings.extend(_check_rg005(tree, path))
+    if "RG006" in active:
+        findings.extend(_check_rg006(tree, path))
 
     lines = source.splitlines()
     kept = []

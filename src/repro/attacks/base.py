@@ -26,6 +26,11 @@ class Attack:
     """Common base: a named adversarial behaviour installed on clients."""
 
     name: str = "attack"
+    #: True when colluders share state that one of them *creates during the
+    #: round* (not derivable from the seed). Such attacks are only
+    #: simulated faithfully by in-process execution; ProcessPoolBackend
+    #: rejects batches containing two or more such colluders.
+    runtime_collusion: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}()"

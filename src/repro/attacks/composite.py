@@ -48,6 +48,14 @@ class CompositeAttack(DataPoisoningAttack, ModelPoisoningAttack):
         return self.model_attack.apply(np.asarray(target), rng)
 
     # -- forwarded hooks ---------------------------------------------------------
+    @property
+    def runtime_collusion(self) -> bool:
+        """A composite colludes at runtime if either stage does."""
+        return bool(
+            getattr(self.data_attack, "runtime_collusion", False)
+            or getattr(self.model_attack, "runtime_collusion", False)
+        )
+
     def bind_global(self, global_weights: np.ndarray) -> None:
         bind = getattr(self.model_attack, "bind_global", None)
         if bind is not None:

@@ -48,6 +48,9 @@ class DirectedDeviationAttack(ModelPoisoningAttack):
             raise ValueError(f"lambda must be positive, got {lam}")
         self.lam = lam
         self.colluding = colluding
+        # Colluders share the first colluder's direction, built at runtime
+        # from its own update — state process-pool workers cannot share.
+        self.runtime_collusion = colluding
         self._global: np.ndarray | None = None
         self._shared_direction: np.ndarray | None = None
 

@@ -63,6 +63,16 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         help="number of clients N")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--server-lr", type=float, default=None)
+    parser.add_argument("--channel", choices=["in_memory", "lossy", "latency"],
+                        default=None,
+                        help="transport channel (default: in_memory — "
+                             "lossless, the paper's testbed)")
+    parser.add_argument("--drop-prob", type=float, default=None,
+                        help="lossy channel: per-message drop probability")
+    parser.add_argument("--latency-base", type=float, default=None,
+                        help="latency channel: fixed per-message seconds")
+    parser.add_argument("--bandwidth", type=float, default=None,
+                        help="latency channel: link bytes/second (0 = infinite)")
 
 
 def _config_from_args(args) -> FederationConfig:
@@ -75,6 +85,17 @@ def _config_from_args(args) -> FederationConfig:
         overrides["train_samples"] = args.clients * 240
     if getattr(args, "server_lr", None) is not None:
         overrides["server_lr"] = args.server_lr
+    if getattr(args, "channel", None) is not None:
+        overrides["channel"] = args.channel
+    if getattr(args, "drop_prob", None) is not None:
+        overrides["channel_drop_prob"] = args.drop_prob
+        overrides.setdefault("channel", "lossy")
+    if getattr(args, "latency_base", None) is not None:
+        overrides["channel_latency_base_s"] = args.latency_base
+        overrides.setdefault("channel", "latency")
+    if getattr(args, "bandwidth", None) is not None:
+        overrides["channel_bytes_per_s"] = args.bandwidth
+        overrides.setdefault("channel", "latency")
     base = (
         FederationConfig.tiny
         if getattr(args, "profile", "scaled") == "tiny"

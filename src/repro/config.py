@@ -104,6 +104,13 @@ class FederationConfig:
     stream_window: int = 0              # max retained samples (0 = unbounded)
     cvae_refresh_every: int = 0         # retrain the CVAE every k rounds (0 = once)
 
+    # transport channel (repro.fl.transport; the paper's testbed is lossless)
+    channel: str = "in_memory"          # "in_memory" | "lossy" | "latency"
+    channel_drop_prob: float = 0.0      # lossy: per-message drop probability
+    channel_latency_base_s: float = 0.0   # latency: fixed per-message seconds
+    channel_bytes_per_s: float = 0.0      # latency: link bandwidth (0 = infinite)
+    channel_latency_spread: float = 0.0   # latency: per-client slowdown (lognormal σ)
+
     # models
     model: ModelConfig = field(default_factory=ModelConfig)
 
@@ -118,6 +125,19 @@ class FederationConfig:
             )
         if not 0.0 < self.server_lr <= 1.0:
             raise ValueError(f"server_lr must be in (0, 1], got {self.server_lr}")
+        if self.channel not in ("in_memory", "lossy", "latency"):
+            raise ValueError(
+                f"unknown channel {self.channel!r}; "
+                f"expected one of ('in_memory', 'lossy', 'latency')"
+            )
+        if not 0.0 <= self.channel_drop_prob <= 1.0:
+            raise ValueError(
+                f"channel_drop_prob must be in [0, 1], got {self.channel_drop_prob}"
+            )
+        for name in ("channel_latency_base_s", "channel_bytes_per_s",
+                     "channel_latency_spread"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
 
     @property
     def t_samples(self) -> int:

@@ -38,6 +38,9 @@ def history_to_dict(history: History) -> dict:
                 "download_nbytes": r.download_nbytes,
                 "duration_s": r.duration_s,
                 "metrics": _jsonable(r.metrics),
+                "selected_ids": list(r.selected_ids),
+                "broadcasts_dropped": r.broadcasts_dropped,
+                "submits_dropped": r.submits_dropped,
             }
             for r in history.rounds
         ],
@@ -73,6 +76,11 @@ def history_from_dict(data: dict) -> History:
             download_nbytes=r["download_nbytes"],
             duration_s=r["duration_s"],
             metrics=r.get("metrics", {}),
+            # Pre-transport records carry neither selection-vs-delivery
+            # distinction nor drop counters; default to lossless.
+            selected_ids=r.get("selected_ids", []),
+            broadcasts_dropped=r.get("broadcasts_dropped", 0),
+            submits_dropped=r.get("submits_dropped", 0),
         ))
     return history
 

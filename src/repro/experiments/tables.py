@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import ModelConfig
+from ..fl.transport import payload_nbytes
 from ..models import build_classifier, build_decoder
-from ..nn.serialization import WIRE_BYTES_PER_PARAM
 from .reporting import markdown_table
 from .runner import ResultMatrix
 
@@ -125,12 +125,12 @@ def table5_analytic(
     +10 % total overhead.
     """
     cfg = model if model is not None else ModelConfig.paper()
-    classifier_bytes = sum(
-        p.size for p in build_classifier(cfg).parameters()
-    ) * WIRE_BYTES_PER_PARAM
-    decoder_bytes = sum(
-        p.size for p in build_decoder(cfg).parameters()
-    ) * WIRE_BYTES_PER_PARAM
+    classifier_bytes = payload_nbytes(
+        sum(p.size for p in build_classifier(cfg).parameters())
+    )
+    decoder_bytes = payload_nbytes(
+        sum(p.size for p in build_decoder(cfg).parameters())
+    )
 
     m = clients_per_round
     budgets = {

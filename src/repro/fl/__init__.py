@@ -4,9 +4,19 @@ from .client import FLClient, train_classifier, train_cvae
 from .history import History, RoundRecord
 from .parallel import ExecutionBackend, ProcessPoolBackend, SequentialBackend
 from .sampling import ClientSampler, ReputationSampler, UniformSampler
-from .server import Server
+from .server import RoundContext, Server
 from .simulation import build_federation, run_federation
 from .strategy import AggregationResult, ServerContext, Strategy, weighted_average
+from .transport import (
+    BroadcastMessage,
+    Channel,
+    InMemoryChannel,
+    LatencyChannel,
+    LossyChannel,
+    SubmitMessage,
+    TransportStats,
+    make_channel,
+)
 from .updates import ClientUpdate
 
 __all__ = [
@@ -19,6 +29,7 @@ __all__ = [
     "AggregationResult",
     "weighted_average",
     "Server",
+    "RoundContext",
     "History",
     "RoundRecord",
     "build_federation",
@@ -29,4 +40,12 @@ __all__ = [
     "ClientSampler",
     "UniformSampler",
     "ReputationSampler",
+    "BroadcastMessage",
+    "SubmitMessage",
+    "Channel",
+    "InMemoryChannel",
+    "LossyChannel",
+    "LatencyChannel",
+    "TransportStats",
+    "make_channel",
 ]

@@ -16,7 +16,13 @@ __all__ = ["RoundRecord", "History"]
 
 @dataclass
 class RoundRecord:
-    """Everything measured in one federated round."""
+    """Everything measured in one federated round.
+
+    ``sampled_ids`` are the clients whose updates actually reached
+    aggregation; ``selected_ids`` are everyone the sampler chose. With the
+    default lossless transport the two coincide, and the drop counters are
+    zero; a lossy channel opens a gap between them (dropout / stragglers).
+    """
 
     round_idx: int
     accuracy: float
@@ -25,10 +31,24 @@ class RoundRecord:
     rejected_ids: list[int]
     malicious_sampled: int
     malicious_accepted: int
-    upload_nbytes: int      # server downloads (client -> server)
-    download_nbytes: int    # server uploads (server -> client)
+    upload_nbytes: int      # server downloads (client -> server), delivered
+    download_nbytes: int    # server uploads (server -> client), delivered
     duration_s: float
     metrics: dict = field(default_factory=dict)
+    selected_ids: list[int] = field(default_factory=list)
+    broadcasts_dropped: int = 0
+    submits_dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.selected_ids:
+            # Lossless rounds (and pre-transport persisted records) never
+            # distinguish selection from delivery.
+            self.selected_ids = list(self.sampled_ids)
+
+    @property
+    def delivered_updates(self) -> int:
+        """How many client updates survived both transport directions."""
+        return len(self.sampled_ids)
 
 
 class History:
@@ -86,6 +106,27 @@ class History:
             "fpr": benign_rejected / benign_seen if benign_seen else float("nan"),
             "malicious_sampled": malicious_seen,
             "malicious_accepted": malicious_in,
+        }
+
+    # -- transport quality ------------------------------------------------------
+    def delivery_summary(self) -> dict:
+        """Aggregate transport reliability across rounds.
+
+        ``delivery_rate`` is delivered updates over selected participants —
+        1.0 on a lossless channel. ``empty_rounds`` counts rounds where no
+        update arrived at all (the global model idles through those).
+        """
+        if not self.rounds:
+            raise ValueError("history is empty")
+        selected = sum(len(r.selected_ids) for r in self.rounds)
+        delivered = sum(r.delivered_updates for r in self.rounds)
+        return {
+            "selected": selected,
+            "delivered": delivered,
+            "delivery_rate": delivered / selected if selected else float("nan"),
+            "broadcasts_dropped": sum(r.broadcasts_dropped for r in self.rounds),
+            "submits_dropped": sum(r.submits_dropped for r in self.rounds),
+            "empty_rounds": sum(1 for r in self.rounds if not r.sampled_ids),
         }
 
     # -- Table V statistics ---------------------------------------------------

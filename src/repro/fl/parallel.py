@@ -14,12 +14,14 @@ Notes for users:
   RNG, and the round's client order does not affect aggregation), so the
   backend is a pure throughput knob. One caveat: attacks whose collusion
   state is *built at runtime from another colluder's update* (only
-  ``DirectedDeviationAttack``) lose cross-client sharing under process
-  isolation, because each worker mutates a pickled copy of the attack —
-  every colluder then deviates along its own direction instead of the
-  first colluder's. Seed-derived collusion (``AdditiveNoiseAttack``,
-  ``DecoderPoisoningAttack``) is unaffected. Run order-dependent
-  colluding attacks on the sequential backend.
+  ``DirectedDeviationAttack``, marked ``runtime_collusion = True``) lose
+  cross-client sharing under process isolation, because each worker
+  mutates a pickled copy of the attack — every colluder then deviates
+  along its own direction instead of the first colluder's.
+  :class:`ProcessPoolBackend` refuses such batches with a ``RuntimeError``
+  instead of silently mis-simulating the attack. Seed-derived collusion
+  (``AdditiveNoiseAttack``, ``DecoderPoisoningAttack``) is unaffected.
+  Run order-dependent colluding attacks on the sequential backend.
 * Process workers pay a serialization cost of roughly the client's
   dataset + model. For the scaled configs this is well under a megabyte
   per client; for paper_full-sized models the per-round shipping cost is
@@ -34,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from .client import FLClient
+from .transport import BroadcastMessage, SubmitMessage
 from .updates import ClientUpdate
 
 __all__ = ["SequentialBackend", "ProcessPoolBackend", "ExecutionBackend"]
@@ -41,6 +44,33 @@ __all__ = ["SequentialBackend", "ProcessPoolBackend", "ExecutionBackend"]
 
 class ExecutionBackend:
     """Interface: run one federated round's client fits."""
+
+    def execute(
+        self,
+        broadcasts: list[BroadcastMessage],
+        clients_by_id: dict[int, FLClient],
+    ) -> list[SubmitMessage]:
+        """Fit every client addressed by a *delivered* broadcast.
+
+        This is the single transport-facing code path shared by all
+        backends: the server's ``fit`` phase hands over whatever the
+        channel delivered, and gets back one :class:`SubmitMessage` per
+        fitted client, ready for the channel's collect direction. The
+        per-backend ``fit_clients`` hook only runs the raw training.
+        """
+        if not broadcasts:
+            return []
+        first = broadcasts[0]
+        # All broadcasts of a round carry the same payload; only the
+        # addressee differs.
+        targets = [clients_by_id[m.client_id] for m in broadcasts]
+        updates, times = self.fit_clients(
+            targets, first.weights, first.include_decoder, first.round_idx
+        )
+        return [
+            SubmitMessage(round_idx=first.round_idx, update=u, client_time_s=t)
+            for u, t in zip(updates, times)
+        ]
 
     def fit_clients(
         self,
@@ -100,7 +130,33 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
+    @staticmethod
+    def _reject_runtime_collusion(clients: list[FLClient]) -> None:
+        """Fail loudly instead of silently mis-simulating collusion.
+
+        An attack flagged ``runtime_collusion`` shares state that one
+        colluder *creates during the round* (DirectedDeviation's first
+        estimated direction). Workers mutate pickled copies, so with two
+        or more such colluders in a batch each would deviate along its own
+        direction — a different attack than the sequential semantics.
+        """
+        shared: dict[int, int] = {}
+        for client in clients:
+            attack = client.attack
+            if attack is not None and getattr(attack, "runtime_collusion", False):
+                shared[id(attack)] = shared.get(id(attack), 0) + 1
+        offenders = {count for count in shared.values() if count >= 2}
+        if offenders:
+            raise RuntimeError(
+                "ProcessPoolBackend cannot simulate runtime-colluding attacks "
+                "(e.g. DirectedDeviationAttack): worker processes mutate "
+                "pickled attack copies, so colluders would no longer share "
+                "the first colluder's direction. Run this scenario on "
+                "SequentialBackend instead."
+            )
+
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
+        self._reject_runtime_collusion(clients)
         pool = self._ensure_pool()
         payloads = [(c, global_weights, include_decoder, round_idx) for c in clients]
         updates, times = [], []

@@ -1,4 +1,4 @@
-"""Federated server: round orchestration, selection, aggregation, accounting.
+"""Federated server: phased round orchestration over a transport channel.
 
 Implements the ``Server`` function of the paper's Algorithm 1 (lines
 14-20): initialize ψ₀, then per round sample m of the N clients, collect
@@ -7,19 +7,27 @@ into the global model with the server learning rate of Fig. 5:
 
     ψ₀ ← ψ₀ + η_s · (aggregate(...) − ψ₀)          (η_s = 1 reduces to Alg. 1)
 
-Timing model for Table V: in the paper's testbed clients train in parallel
-across nodes, so the simulated round duration is the *maximum* client fit
-time plus server-side aggregation time. Communication is accounted exactly
-from serialized parameter sizes (4 bytes/param wire format):
+One round is an explicit pipeline of named phases operating on a shared
+:class:`RoundContext`:
 
-* server downloads / round = Σ client upload bytes (ψ_j, plus θ_j for
-  FedGuard);
-* server uploads / round   = m · |ψ| bytes (global model broadcast).
+    select → broadcast → fit → collect → aggregate → apply → evaluate
+
+``broadcast`` and ``collect`` route every message through the server's
+:class:`~repro.fl.transport.Channel`, which decides delivery, assigns
+latency, and owns all byte accounting (Table V's 4 bytes/param wire
+format). With the default ``InMemoryChannel`` everything is delivered
+instantly and the round is bit-identical to the pre-transport loop; a
+``LossyChannel`` produces client dropout and partial rounds (including
+rounds with zero delivered updates, which leave the global model
+unchanged), and a ``LatencyChannel`` turns ``duration_s`` into the
+simulated ``max_j(download_j + fit_j + upload_j) + aggregation`` of the
+paper's parallel testbed.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,13 +36,39 @@ from ..config import FederationConfig
 from ..data.dataset import Dataset
 from .client import FLClient
 from .history import History, RoundRecord
-from .strategy import ServerContext, Strategy
+from .strategy import AggregationResult, ServerContext, Strategy
+from .transport import BroadcastMessage, Channel, SubmitMessage
+from .updates import ClientUpdate
 
-__all__ = ["Server"]
+__all__ = ["Server", "RoundContext"]
+
+
+@dataclass
+class RoundContext:
+    """Mutable state threaded through one round's phases."""
+
+    round_idx: int
+    participants: list[FLClient] = field(default_factory=list)
+    broadcasts: list[BroadcastMessage] = field(default_factory=list)
+    delivered_broadcasts: list[BroadcastMessage] = field(default_factory=list)
+    submits: list[SubmitMessage] = field(default_factory=list)
+    delivered_submits: list[SubmitMessage] = field(default_factory=list)
+    updates: list[ClientUpdate] = field(default_factory=list)
+    result: AggregationResult | None = None
+    aggregation_time_s: float = 0.0
+    incoming_global: np.ndarray | None = None
+    accuracy: float = float("nan")
+    extra_metrics: dict = field(default_factory=dict)
 
 
 class Server:
     """Drives a federation of :class:`~repro.fl.client.FLClient` objects."""
+
+    #: Phase order of one federated round; each name maps to a
+    #: ``phase_<name>(ctx)`` method, so subclasses can override individual
+    #: phases (e.g. a retrying broadcast) without re-writing the loop.
+    PHASES = ("select", "broadcast", "fit", "collect", "aggregate", "apply",
+              "evaluate")
 
     def __init__(
         self,
@@ -49,6 +83,7 @@ class Server:
         flip_pairs: tuple[tuple[int, int], ...] | None = None,
         backend=None,
         sampler=None,
+        channel: Channel | None = None,
         record_geometry: bool = False,
     ) -> None:
         if not clients:
@@ -73,6 +108,11 @@ class Server:
 
             sampler = UniformSampler()
         self.sampler = sampler
+        if channel is None:
+            from .transport import InMemoryChannel
+
+            channel = InMemoryChannel()
+        self.channel = channel
         # Optional per-round update-space diagnostics (norm dispersion,
         # pairwise cosines) recorded into the round metrics.
         self.record_geometry = record_geometry
@@ -123,6 +163,93 @@ class Server:
             "worst_accuracy": float(accuracies.min()),
         }
 
+    # -- round phases ---------------------------------------------------------
+    def phase_select(self, ctx: RoundContext) -> None:
+        """Choose this round's m participants (Alg. 1, line 17)."""
+        ctx.participants = self.sample_clients()
+
+    def phase_broadcast(self, ctx: RoundContext) -> None:
+        """Send ψ* to every participant through the channel.
+
+        A participant whose broadcast is dropped never hears from the
+        server this round — it neither trains nor submits (dropout before
+        training).
+        """
+        include_decoder = self.strategy.needs_decoder
+        ctx.broadcasts = [
+            BroadcastMessage(
+                round_idx=ctx.round_idx,
+                client_id=client.client_id,
+                weights=self.global_weights,
+                include_decoder=include_decoder,
+            )
+            for client in ctx.participants
+        ]
+        ctx.delivered_broadcasts = self.channel.broadcast(ctx.broadcasts)
+
+    def phase_fit(self, ctx: RoundContext) -> None:
+        """Run local training for every client that received the broadcast."""
+        clients_by_id = {c.client_id: c for c in ctx.participants}
+        ctx.submits = self.backend.execute(ctx.delivered_broadcasts, clients_by_id)
+
+    def phase_collect(self, ctx: RoundContext) -> None:
+        """Receive the submissions the channel delivers back."""
+        ctx.delivered_submits = self.channel.collect(ctx.submits)
+        ctx.updates = [s.update for s in ctx.delivered_submits]
+
+    def phase_aggregate(self, ctx: RoundContext) -> None:
+        """Hand the delivered updates to the aggregation strategy.
+
+        A round with zero delivered updates skips the strategy entirely
+        and keeps the global model — real servers idle through an empty
+        collection window rather than crash.
+        """
+        t0 = time.perf_counter()
+        if ctx.updates:
+            ctx.result = self.strategy.aggregate(
+                ctx.round_idx, ctx.updates, self.global_weights, self.context
+            )
+        else:
+            ctx.result = AggregationResult(
+                weights=self.global_weights.copy(),
+                accepted_ids=[],
+                rejected_ids=[],
+                metrics={"empty_round": 1},
+            )
+        ctx.aggregation_time_s = time.perf_counter() - t0
+
+    def phase_apply(self, ctx: RoundContext) -> None:
+        """Blend the aggregate into the global model (Fig. 5 server lr)."""
+        ctx.incoming_global = (
+            self.global_weights.copy() if self.record_geometry else None
+        )
+        eta = self.config.server_lr
+        self.global_weights += eta * (ctx.result.weights - self.global_weights)
+
+    def phase_evaluate(self, ctx: RoundContext) -> None:
+        """Measure global accuracy (and attack success) from one prediction."""
+        nn.vector_to_parameters(self.global_weights, self._eval_model)
+        preds = self._eval_model.predict(self.test_dataset.features)
+        ctx.accuracy = float(np.mean(preds == self.test_dataset.labels))
+        if self.flip_pairs is not None:
+            from ..metrics import attack_success_rate
+
+            ctx.extra_metrics["attack_success_rate"] = attack_success_rate(
+                self.test_dataset.labels, preds, self.flip_pairs
+            )
+        if self.record_geometry and ctx.updates:
+            from ..experiments.update_geometry import round_geometry
+
+            # Deltas are measured against the round's *incoming* global
+            # model, not the post-aggregation one.
+            geometry = round_geometry(ctx.updates, ctx.incoming_global)
+            ctx.extra_metrics.update(
+                geometry_mean_cosine=geometry.mean_pairwise_cosine,
+                geometry_min_cosine=geometry.min_pairwise_cosine,
+                geometry_norm_dispersion=geometry.norm_dispersion,
+                geometry_norm_outliers=geometry.outliers_by_norm().tolist(),
+            )
+
     # -- the round loop ------------------------------------------------------
     def run_round(self, round_idx: int) -> RoundRecord:
         """Execute one federated round and return its record."""
@@ -130,73 +257,55 @@ class Server:
             self.strategy.setup(self.context)
             self._setup_done = True
 
-        participants = self.sample_clients()
-        include_decoder = self.strategy.needs_decoder
+        self.channel.open_round(round_idx)
+        ctx = RoundContext(round_idx=round_idx)
+        for phase in self.PHASES:
+            getattr(self, f"phase_{phase}")(ctx)
 
-        updates, client_times = self.backend.fit_clients(
-            participants, self.global_weights, include_decoder, round_idx
-        )
-
-        t0 = time.perf_counter()
-        result = self.strategy.aggregate(
-            round_idx, updates, self.global_weights, self.context
-        )
-        aggregation_time = time.perf_counter() - t0
-
-        incoming_global = self.global_weights.copy() if self.record_geometry else None
-        eta = self.config.server_lr
-        self.global_weights += eta * (result.weights - self.global_weights)
-
-        accuracy = self.evaluate()
-        extra_metrics = {}
-        if self.record_geometry:
-            from ..experiments.update_geometry import round_geometry
-
-            # Deltas are measured against the round's *incoming* global
-            # model, not the post-aggregation one.
-            geometry = round_geometry(updates, incoming_global)
-            extra_metrics.update(
-                geometry_mean_cosine=geometry.mean_pairwise_cosine,
-                geometry_min_cosine=geometry.min_pairwise_cosine,
-                geometry_norm_dispersion=geometry.norm_dispersion,
-                geometry_norm_outliers=geometry.outliers_by_norm().tolist(),
-            )
-        if self.flip_pairs is not None:
-            from ..metrics import attack_success_rate
-
-            nn.vector_to_parameters(self.global_weights, self._eval_model)
-            preds = self._eval_model.predict(self.test_dataset.features)
-            extra_metrics["attack_success_rate"] = attack_success_rate(
-                self.test_dataset.labels, preds, self.flip_pairs
-            )
-        accepted = set(result.accepted_ids)
-        malicious_ids = {u.client_id for u in updates if u.malicious}
-
-        classifier_nbytes = self.global_weights.size * nn.WIRE_BYTES_PER_PARAM
-        upload_nbytes = sum(u.upload_nbytes for u in updates)
-        download_nbytes = len(participants) * classifier_nbytes
-
-        record = RoundRecord(
-            round_idx=round_idx,
-            accuracy=accuracy,
-            sampled_ids=[u.client_id for u in updates],
-            accepted_ids=sorted(accepted),
-            rejected_ids=sorted(result.rejected_ids),
-            malicious_sampled=len(malicious_ids),
-            malicious_accepted=len(accepted & malicious_ids),
-            upload_nbytes=upload_nbytes,
-            download_nbytes=download_nbytes,
-            duration_s=(max(client_times) if client_times else 0.0) + aggregation_time,
-            metrics={
-                "client_time_max_s": max(client_times) if client_times else 0.0,
-                "client_time_sum_s": sum(client_times),
-                "aggregation_time_s": aggregation_time,
-                **extra_metrics,
-                **result.metrics,
-            },
-        )
+        record = self._make_record(ctx)
         self.sampler.observe(record)
         return record
+
+    def _make_record(self, ctx: RoundContext) -> RoundRecord:
+        """Fold the round context and transport stats into a RoundRecord."""
+        stats = self.channel.stats
+        accepted = set(ctx.result.accepted_ids)
+        malicious_ids = {u.client_id for u in ctx.updates if u.malicious}
+
+        # Compute metrics cover every executed fit (work happens even when
+        # the submission is later dropped); the simulated duration chains
+        # only delivered messages: download + fit + upload per client.
+        fit_times = [s.client_time_s for s in ctx.submits]
+        down_latency = {m.client_id: m.latency_s for m in ctx.delivered_broadcasts}
+        per_client_s = [
+            down_latency.get(s.client_id, 0.0) + s.client_time_s + s.latency_s
+            for s in ctx.delivered_submits
+        ]
+        duration_s = (max(per_client_s) if per_client_s else 0.0) + ctx.aggregation_time_s
+
+        return RoundRecord(
+            round_idx=ctx.round_idx,
+            accuracy=ctx.accuracy,
+            sampled_ids=[u.client_id for u in ctx.updates],
+            accepted_ids=sorted(accepted),
+            rejected_ids=sorted(ctx.result.rejected_ids),
+            malicious_sampled=len(malicious_ids),
+            malicious_accepted=len(accepted & malicious_ids),
+            upload_nbytes=stats.upload_nbytes,
+            download_nbytes=stats.download_nbytes,
+            duration_s=duration_s,
+            metrics={
+                "client_time_max_s": max(fit_times) if fit_times else 0.0,
+                "client_time_sum_s": sum(fit_times),
+                "aggregation_time_s": ctx.aggregation_time_s,
+                "transport_latency_max_s": stats.max_latency_s,
+                **ctx.extra_metrics,
+                **ctx.result.metrics,
+            },
+            selected_ids=[c.client_id for c in ctx.participants],
+            broadcasts_dropped=stats.broadcasts_dropped,
+            submits_dropped=stats.submits_dropped,
+        )
 
     def run(self, rounds: int | None = None, verbose: bool = False) -> History:
         """Run the configured number of rounds; returns the full history."""

@@ -34,6 +34,27 @@ __all__ = ["build_federation", "run_federation"]
 AUX_FRACTION = 0.05
 
 
+def _replay_factory(build, model_config, template_rng: np.random.Generator):
+    """A model factory whose initialization is call-count-invariant.
+
+    The naive ``lambda: build(cfg, rng)`` closes over one mutating stream,
+    so the k-th shell's initialization depends on how many times *any*
+    strategy called the factory before — a hidden coupling between
+    strategies and results. Instead the template generator's state is
+    snapshotted once and replayed per call: every shell initializes
+    identically, no matter how often or in what order factories are used.
+    """
+    bit_generator_cls = type(template_rng.bit_generator)
+    state = template_rng.bit_generator.state
+
+    def make():
+        rng = np.random.Generator(bit_generator_cls())
+        rng.bit_generator.state = state
+        return build(model_config, rng)
+
+    return make
+
+
 def build_federation(
     config: FederationConfig,
     strategy: Strategy,
@@ -41,6 +62,7 @@ def build_federation(
     initial_weights: np.ndarray | None = None,
     backend=None,
     sampler=None,
+    channel=None,
     record_geometry: bool = False,
 ) -> Server:
     """Construct a deterministic federation ready for :meth:`Server.run`."""
@@ -96,9 +118,15 @@ def build_federation(
         for cid in range(config.n_clients)
     ]
 
+    # Snapshot the classifier stream first: its replayed state matches the
+    # seed discipline's first factory call (the server's eval shell, i.e.
+    # the initial global model). Decoders replay an independent child.
+    make_classifier = _replay_factory(build_classifier, config.model, init_rng)
+    make_decoder = _replay_factory(build_decoder, config.model, init_rng.spawn(1)[0])
+
     context = ServerContext(
-        make_classifier=lambda: build_classifier(config.model, init_rng),
-        make_decoder=lambda: build_decoder(config.model, init_rng),
+        make_classifier=make_classifier,
+        make_decoder=make_decoder,
         num_classes=config.model.num_classes,
         t_samples=config.t_samples,
         class_probs=np.full(config.model.num_classes, 1.0 / config.model.num_classes),
@@ -114,6 +142,11 @@ def build_federation(
         else None
     )
 
+    if channel is None:
+        from .transport import make_channel
+
+        channel = make_channel(config)
+
     return Server(
         clients=clients,
         strategy=strategy,
@@ -126,6 +159,7 @@ def build_federation(
         flip_pairs=flip_pairs,
         backend=backend,
         sampler=sampler,
+        channel=channel,
         record_geometry=record_geometry,
     )
 

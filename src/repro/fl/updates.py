@@ -2,8 +2,11 @@
 
 A :class:`ClientUpdate` carries the flattened classifier parameters ψ_j and
 — for strategies that request it (FedGuard) — the flattened CVAE decoder
-parameters θ_j, plus sample-count metadata for weighted aggregation and
-byte accounting.
+parameters θ_j, plus sample-count metadata for weighted aggregation.
+
+Wire-size accounting lives in :mod:`repro.fl.transport`
+(:func:`~repro.fl.transport.update_nbytes`): an update is payload, the
+transport layer decides what shipping it costs.
 """
 
 from __future__ import annotations
@@ -11,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-
-from ..nn.serialization import WIRE_BYTES_PER_PARAM
 
 __all__ = ["ClientUpdate"]
 
@@ -38,11 +39,3 @@ class ClientUpdate:
             self.decoder_weights = np.asarray(self.decoder_weights, dtype=np.float64).ravel()
         if self.decoder_classes is not None:
             self.decoder_classes = np.asarray(self.decoder_classes, dtype=np.int64).ravel()
-
-    @property
-    def upload_nbytes(self) -> int:
-        """Wire bytes this update costs the client → server direction."""
-        total = self.weights.size
-        if self.decoder_weights is not None:
-            total += self.decoder_weights.size
-        return total * WIRE_BYTES_PER_PARAM

@@ -73,12 +73,16 @@ def parameter_shapes(model: Module) -> list[tuple[int, ...]]:
 
 
 def vector_nbytes(model_or_size: Module | int) -> int:
-    """Wire size in bytes of a model's flattened parameters (float32 wire format)."""
+    """Wire size in bytes of a model's flattened parameters (float32 wire format).
+
+    This is the wire format's definition site; everywhere else byte
+    accounting goes through :mod:`repro.fl.transport` (lint rule RG006).
+    """
     if isinstance(model_or_size, Module):
         size = sum(p.size for p in model_or_size.parameters())
     else:
         size = int(model_or_size)
-    return size * WIRE_BYTES_PER_PARAM
+    return size * WIRE_BYTES_PER_PARAM  # noqa: RG006 — definition site
 
 
 def split_vector(vector: np.ndarray, shapes: list[tuple[int, ...]]) -> list[np.ndarray]:

@@ -277,6 +277,41 @@ class TestRG005NarrowDtypes:
         assert _lint(source, path="src/repro/data/synth.py", rules=["RG005"]) == []
 
 
+class TestRG006WireByteArithmetic:
+    def test_flags_bare_name_multiplication(self):
+        source = "nbytes = n_params * WIRE_BYTES_PER_PARAM\n"
+        findings = _lint(source, path="src/repro/fl/server.py", rules=["RG006"])
+        assert _rules(findings) == ["RG006"]
+        assert "transport" in findings[0].message
+
+    def test_flags_attribute_access_and_reversed_operands(self):
+        source = (
+            "from repro import nn\n"
+            "a = nn.WIRE_BYTES_PER_PARAM * count\n"
+            "b = count * nn.serialization.WIRE_BYTES_PER_PARAM\n"
+        )
+        findings = _lint(source, path="src/repro/experiments/tables.py",
+                         rules=["RG006"])
+        assert _rules(findings) == ["RG006", "RG006"]
+
+    def test_transport_module_is_exempt(self):
+        source = "nbytes = n_params * WIRE_BYTES_PER_PARAM\n"
+        assert _lint(source, path="src/repro/fl/transport.py", rules=["RG006"]) == []
+
+    def test_allows_non_multiplicative_uses(self):
+        source = (
+            "from repro.nn.serialization import WIRE_BYTES_PER_PARAM\n"
+            "assert WIRE_BYTES_PER_PARAM == 4\n"
+            "x = WIRE_BYTES_PER_PARAM + 1\n"
+        )
+        assert _lint(source, path="src/repro/fl/server.py", rules=["RG006"]) == []
+
+    def test_noqa_suppresses_definition_site(self):
+        source = "n = size * WIRE_BYTES_PER_PARAM  # noqa: RG006\n"
+        assert _lint(source, path="src/repro/nn/serialization.py",
+                     rules=["RG006"]) == []
+
+
 class TestNoqaAndDriver:
     def test_specific_noqa_suppresses(self):
         source = "import numpy as np\nx = np.random.rand(3)  # noqa: RG001\n"

@@ -1,0 +1,57 @@
+"""Golden-history regression: the transport refactor must be bit-identical.
+
+``tests/fl/data/golden_histories.json`` holds full histories captured from
+the **pre-transport** round loop (tiny config) for strategies whose results
+the refactor must not change. Re-running those cells through the phased
+``Server`` + ``InMemoryChannel`` pipeline must reproduce every accuracy,
+sampled/accepted/rejected id, and byte count exactly.
+
+Wall-clock fields (``duration_s`` and any ``*_s`` metric) are stripped on
+both sides — they measure the host machine, not the federation.
+
+Spectral and FedCVAE are deliberately absent: the call-count-invariant
+model-factory fix changes their shell initialization (their ``setup``
+pre-trains from a factory shell), which is the intended bugfix, not drift.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import FederationConfig
+from repro.experiments import run_cell
+from repro.experiments.storage import history_to_dict
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_histories.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _normalize(data: dict) -> dict:
+    """Strip wall-clock fields and post-refactor-only keys from a history dict."""
+    out = {"strategy": data["strategy"], "scenario": data["scenario"], "rounds": []}
+    for r in data["rounds"]:
+        round_out = {
+            k: v
+            for k, v in r.items()
+            if k not in ("duration_s", "metrics", "selected_ids",
+                         "broadcasts_dropped", "submits_dropped")
+        }
+        round_out["metrics"] = {
+            k: v for k, v in r.get("metrics", {}).items() if not k.endswith("_s")
+        }
+        out["rounds"].append(round_out)
+    return out
+
+
+@pytest.mark.parametrize("cell", sorted(GOLDEN))
+def test_history_matches_pre_refactor_golden(cell):
+    strategy, scenario, seed_tag = cell.rsplit("__", 2)
+    seed = int(seed_tag.removeprefix("seed"))
+    history = run_cell(FederationConfig.tiny(seed=seed), strategy, scenario)
+    assert _normalize(history_to_dict(history)) == _normalize(GOLDEN[cell])
+
+
+def test_golden_file_covers_multiple_defense_families():
+    strategies = {cell.rsplit("__", 2)[0] for cell in GOLDEN}
+    assert {"fedavg", "fedguard", "krum", "geomed", "trimmed_mean"} <= strategies

@@ -1,0 +1,205 @@
+"""Transport layer tests: wire messages, channel accounting, delivery models."""
+
+import numpy as np
+import pytest
+
+from repro.config import FederationConfig
+from repro.fl import ClientUpdate
+from repro.fl.transport import (
+    BroadcastMessage,
+    Channel,
+    InMemoryChannel,
+    LatencyChannel,
+    LossyChannel,
+    SubmitMessage,
+    broadcast_nbytes,
+    make_channel,
+    payload_nbytes,
+    update_nbytes,
+)
+from repro.nn.serialization import WIRE_BYTES_PER_PARAM
+
+
+def _broadcasts(n, size=10, round_idx=1):
+    weights = np.zeros(size)
+    return [
+        BroadcastMessage(round_idx=round_idx, client_id=cid, weights=weights)
+        for cid in range(n)
+    ]
+
+
+def _submits(n, size=10, decoder_size=0, round_idx=1):
+    out = []
+    for cid in range(n):
+        update = ClientUpdate(
+            client_id=cid,
+            weights=np.zeros(size),
+            num_samples=5,
+            decoder_weights=np.zeros(decoder_size) if decoder_size else None,
+        )
+        out.append(SubmitMessage(round_idx=round_idx, update=update))
+    return out
+
+
+class TestWireSizes:
+    def test_payload_nbytes(self):
+        assert payload_nbytes(100) == 100 * WIRE_BYTES_PER_PARAM
+
+    def test_broadcast_nbytes_matches_message(self):
+        msg = _broadcasts(1, size=64)[0]
+        assert msg.nbytes == broadcast_nbytes(msg.weights) == payload_nbytes(64)
+
+    def test_update_nbytes_counts_decoder(self):
+        plain = _submits(1, size=100)[0]
+        with_decoder = _submits(1, size=100, decoder_size=40)[0]
+        assert plain.nbytes == update_nbytes(plain.update) == payload_nbytes(100)
+        assert with_decoder.nbytes == payload_nbytes(140)
+
+    def test_submit_exposes_client_id(self):
+        assert _submits(3)[2].client_id == 2
+
+
+class TestChannelAccounting:
+    def test_base_channel_delivers_everything(self):
+        channel = Channel()
+        channel.open_round(1)
+        delivered = channel.broadcast(_broadcasts(4, size=10))
+        returned = channel.collect(_submits(3, size=10))
+        assert len(delivered) == 4 and len(returned) == 3
+        assert channel.stats.broadcasts_sent == channel.stats.broadcasts_delivered == 4
+        assert channel.stats.submits_sent == channel.stats.submits_delivered == 3
+        assert channel.stats.download_nbytes == 4 * payload_nbytes(10)
+        assert channel.stats.upload_nbytes == 3 * payload_nbytes(10)
+        assert channel.stats.broadcasts_dropped == channel.stats.submits_dropped == 0
+
+    def test_open_round_resets_stats(self):
+        channel = InMemoryChannel()
+        channel.open_round(1)
+        channel.broadcast(_broadcasts(4))
+        channel.open_round(2)
+        assert channel.stats.broadcasts_sent == 0
+        assert channel.stats.download_nbytes == 0
+
+    def test_dropped_messages_cost_no_bytes(self):
+        class DropOdd(Channel):
+            def transmit_broadcast(self, message):
+                return message if message.client_id % 2 == 0 else None
+
+            def transmit_submit(self, message):
+                return message if message.client_id % 2 == 0 else None
+
+        channel = DropOdd()
+        channel.open_round(1)
+        delivered = channel.broadcast(_broadcasts(4, size=10))
+        returned = channel.collect(_submits(4, size=10))
+        assert [m.client_id for m in delivered] == [0, 2]
+        assert [m.client_id for m in returned] == [0, 2]
+        assert channel.stats.broadcasts_dropped == 2
+        assert channel.stats.submits_dropped == 2
+        assert channel.stats.download_nbytes == 2 * payload_nbytes(10)
+        assert channel.stats.upload_nbytes == 2 * payload_nbytes(10)
+
+
+class TestLossyChannel:
+    def test_zero_drop_prob_is_lossless(self):
+        channel = LossyChannel(0.0, seed=3)
+        channel.open_round(1)
+        assert len(channel.broadcast(_broadcasts(20))) == 20
+
+    def test_full_drop_prob_delivers_nothing(self):
+        channel = LossyChannel(1.0, seed=3)
+        channel.open_round(1)
+        assert channel.broadcast(_broadcasts(20)) == []
+        assert channel.collect(_submits(20)) == []
+        assert channel.stats.broadcasts_dropped == 20
+
+    def test_invalid_drop_prob_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel(-0.1)
+        with pytest.raises(ValueError):
+            LossyChannel(1.1)
+
+    def test_same_seed_same_drops(self):
+        outcomes = []
+        for _ in range(2):
+            channel = LossyChannel(0.5, seed=42)
+            channel.open_round(1)
+            delivered = channel.broadcast(_broadcasts(50))
+            outcomes.append([m.client_id for m in delivered])
+        assert outcomes[0] == outcomes[1]
+        assert 0 < len(outcomes[0]) < 50  # p=0.5 over 50: neither extreme
+
+
+class TestLatencyChannel:
+    def test_latency_formula_without_spread(self):
+        channel = LatencyChannel(base_s=0.1, bytes_per_s=400.0)
+        channel.open_round(1)
+        [msg] = channel.broadcast(_broadcasts(1, size=10))
+        assert msg.latency_s == pytest.approx(0.1 + payload_nbytes(10) / 400.0)
+        assert channel.stats.max_latency_s == pytest.approx(msg.latency_s)
+
+    def test_zero_bandwidth_means_infinite_link(self):
+        channel = LatencyChannel(base_s=0.2, bytes_per_s=0.0)
+        channel.open_round(1)
+        [msg] = channel.broadcast(_broadcasts(1))
+        assert msg.latency_s == pytest.approx(0.2)
+
+    def test_client_speed_is_stable(self):
+        channel = LatencyChannel(base_s=0.1, spread=0.5, seed=7)
+        speeds = [channel.client_speed(3) for _ in range(5)]
+        assert len(set(speeds)) == 1
+        assert channel.client_speed(4) != speeds[0]  # heterogeneous population
+
+    def test_never_drops(self):
+        channel = LatencyChannel(base_s=0.1, spread=1.0, seed=7)
+        channel.open_round(1)
+        assert len(channel.collect(_submits(10))) == 10
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyChannel(base_s=-1.0)
+        with pytest.raises(ValueError):
+            LatencyChannel(bytes_per_s=-1.0)
+        with pytest.raises(ValueError):
+            LatencyChannel(spread=-0.5)
+
+
+class TestMakeChannel:
+    def test_default_config_builds_in_memory(self):
+        channel = make_channel(FederationConfig.tiny())
+        assert isinstance(channel, InMemoryChannel)
+
+    def test_lossy_from_config(self):
+        config = FederationConfig.tiny(channel="lossy", channel_drop_prob=0.25)
+        channel = make_channel(config)
+        assert isinstance(channel, LossyChannel)
+        assert channel.drop_prob == 0.25
+
+    def test_latency_from_config(self):
+        config = FederationConfig.tiny(
+            channel="latency",
+            channel_latency_base_s=0.05,
+            channel_bytes_per_s=1e6,
+            channel_latency_spread=0.3,
+        )
+        channel = make_channel(config)
+        assert isinstance(channel, LatencyChannel)
+        assert (channel.base_s, channel.bytes_per_s, channel.spread) == (0.05, 1e6, 0.3)
+
+    def test_channel_rng_derives_from_federation_seed(self):
+        config = FederationConfig.tiny(channel="lossy", channel_drop_prob=0.5)
+        rolls = []
+        for _ in range(2):
+            channel = make_channel(config)
+            channel.open_round(1)
+            rolls.append([m.client_id for m in channel.broadcast(_broadcasts(30))])
+        assert rolls[0] == rolls[1]
+        other = make_channel(
+            FederationConfig.tiny(seed=9, channel="lossy", channel_drop_prob=0.5)
+        )
+        other.open_round(1)
+        assert [m.client_id for m in other.broadcast(_broadcasts(30))] != rolls[0]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FederationConfig.tiny(channel="pigeon")

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.fl import ClientUpdate
+from repro.fl.transport import update_nbytes
 from repro.nn.serialization import WIRE_BYTES_PER_PARAM
 
 
@@ -18,14 +19,18 @@ class TestClientUpdate:
 
     def test_upload_bytes_without_decoder(self):
         u = ClientUpdate(client_id=0, weights=np.zeros(100), num_samples=5)
-        assert u.upload_nbytes == 100 * WIRE_BYTES_PER_PARAM
+        assert update_nbytes(u) == 100 * WIRE_BYTES_PER_PARAM
 
     def test_upload_bytes_with_decoder(self):
         u = ClientUpdate(
             client_id=0, weights=np.zeros(100), num_samples=5,
             decoder_weights=np.zeros(40),
         )
-        assert u.upload_nbytes == 140 * WIRE_BYTES_PER_PARAM
+        assert update_nbytes(u) == 140 * WIRE_BYTES_PER_PARAM
+
+    def test_byte_accounting_lives_in_transport(self):
+        u = ClientUpdate(client_id=0, weights=np.zeros(4), num_samples=1)
+        assert not hasattr(u, "upload_nbytes")
 
     def test_malicious_flag_defaults_false(self):
         u = ClientUpdate(client_id=0, weights=np.zeros(4), num_samples=1)

@@ -26,6 +26,7 @@ def test_expected_examples_present():
         "streaming_federation",
         "sensor_fault_detection",
         "audit_introspection",
+        "unreliable_network",
     } <= names
 
 
