@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Backend scaling benchmark: sequential vs legacy pool vs resident pool.
+
+Measures, for each backend and federation size, steady-state round
+throughput (rounds/s) and process-boundary traffic (pickled bytes/round)
+with decoders enabled (FedGuard). One warmup round per cell absorbs
+one-time costs — worker start, recipe installation, CVAE training, first
+decoder shipment — so the timed rounds reflect the recurring per-round
+cost the backends actually differ on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py           # full
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --smoke --check
+
+``--check`` enforces the performance floor (CI): the resident pool must
+not fall behind the sequential backend at the smallest size. The
+wall-clock half of the gate needs real parallel hardware — on a
+single-core host only the byte reduction is enforced (process overhead
+cannot be amortized across cores that do not exist).
+
+Output: a JSON report (default ``benchmarks/out/BENCH_backend.json``;
+``--smoke`` writes ``BENCH_backend_smoke.json`` so the checked-in
+full-run artifact stays stable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import FederationConfig  # noqa: E402
+from repro.defenses import FedGuard  # noqa: E402
+from repro.fl import (  # noqa: E402
+    LegacyProcessPoolBackend,
+    ProcessPoolBackend,
+    SequentialBackend,
+    build_federation,
+)
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def bench_config(n_clients: int) -> FederationConfig:
+    """A state-movement-dominated federation at the requested size.
+
+    One local epoch on small partitions keeps compute per round minimal,
+    so the backends' recurring serialization cost — the thing this bench
+    compares — dominates the measurement.
+    """
+    return FederationConfig.tiny(
+        n_clients=n_clients,
+        clients_per_round=max(2, n_clients // 2),
+        rounds=1,
+        train_samples=n_clients * 40,
+        local_epochs=1,
+        cvae_epochs=2,
+    )
+
+
+def _make_backend(kind: str):
+    if kind == "sequential":
+        return SequentialBackend()
+    if kind == "process_legacy":
+        # measure_ipc doubles serialization work; bytes are measured in a
+        # separate pass so the timing here stays honest.
+        return LegacyProcessPoolBackend()
+    return ProcessPoolBackend()
+
+
+def _run_rounds(server, first_round: int, count: int) -> float:
+    t0 = time.perf_counter()
+    for r in range(first_round, first_round + count):
+        server.run_round(r)
+    return time.perf_counter() - t0
+
+
+def bench_cell(kind: str, n_clients: int, timed_rounds: int) -> dict:
+    """One (backend, size) measurement: warmup, timed rounds, bytes."""
+    config = bench_config(n_clients)
+    backend = _make_backend(kind)
+    try:
+        server = build_federation(config, FedGuard(), backend=backend)
+        _run_rounds(server, 1, 1)  # warmup: install/train/first-ship
+        before = backend.ipc_stats.total_nbytes
+        wall_s = _run_rounds(server, 2, timed_rounds)
+        ipc_bytes = (backend.ipc_stats.total_nbytes - before) / timed_rounds
+    finally:
+        backend.close()
+
+    if kind == "process_legacy":
+        # Byte-measuring pass: same shape, counting enabled, one round.
+        backend = LegacyProcessPoolBackend(measure_ipc=True)
+        try:
+            server = build_federation(config, FedGuard(), backend=backend)
+            _run_rounds(server, 1, 1)
+            before = backend.ipc_stats.total_nbytes
+            _run_rounds(server, 2, 1)
+            ipc_bytes = float(backend.ipc_stats.total_nbytes - before)
+        finally:
+            backend.close()
+
+    return {
+        "backend": kind,
+        "n_clients": n_clients,
+        "clients_per_round": config.clients_per_round,
+        "timed_rounds": timed_rounds,
+        "wall_s_per_round": wall_s / timed_rounds,
+        "rounds_per_s": timed_rounds / wall_s,
+        "ipc_bytes_per_round": ipc_bytes,
+    }
+
+
+def _cell(results: list[dict], kind: str, n: int) -> dict | None:
+    return next(
+        (r for r in results if r["backend"] == kind and r["n_clients"] == n),
+        None,
+    )
+
+
+def check_floor(results: list[dict], size: int) -> list[str]:
+    """The CI gate; returns a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    resident = _cell(results, "process", size)
+    sequential = _cell(results, "sequential", size)
+    legacy = _cell(results, "process_legacy", size)
+    if resident and legacy:
+        ratio = legacy["ipc_bytes_per_round"] / max(resident["ipc_bytes_per_round"], 1.0)
+        if ratio < 3.0:
+            failures.append(
+                f"resident pool must move >=3x fewer pickled bytes/round than "
+                f"the legacy pool at {size} clients; got {ratio:.2f}x"
+            )
+    if resident and sequential:
+        if (os.cpu_count() or 1) >= 2:
+            if resident["rounds_per_s"] < sequential["rounds_per_s"]:
+                failures.append(
+                    f"resident pool slower than sequential at {size} clients: "
+                    f"{resident['rounds_per_s']:.3f} vs "
+                    f"{sequential['rounds_per_s']:.3f} rounds/s"
+                )
+        else:
+            print(
+                "note: single-core host — resident-vs-sequential wall-clock "
+                "gate skipped (only the byte floor is enforced)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smallest size only, fewer rounds (CI budget)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if the performance floor is missed")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="client counts to measure (default: 8 32 100, "
+                             "or 8 with --smoke)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timed rounds per cell (default: 3, 2 with --smoke)")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes else ([8] if args.smoke else [8, 32, 100])
+    timed_rounds = args.rounds if args.rounds else (2 if args.smoke else 3)
+    out_path = args.out or (
+        OUT_DIR / ("BENCH_backend_smoke.json" if args.smoke else "BENCH_backend.json")
+    )
+
+    results = []
+    for n in sizes:
+        for kind in ("sequential", "process_legacy", "process"):
+            cell = bench_cell(kind, n, timed_rounds)
+            results.append(cell)
+            print(
+                f"{kind:15s} n={n:4d}  {cell['rounds_per_s']:8.3f} rounds/s  "
+                f"{cell['ipc_bytes_per_round'] / 1024:10.1f} KiB/round"
+            )
+
+    derived = {}
+    for n in sizes:
+        resident = _cell(results, "process", n)
+        legacy = _cell(results, "process_legacy", n)
+        if resident and legacy:
+            derived[f"legacy_over_resident_bytes_x_{n}"] = (
+                legacy["ipc_bytes_per_round"]
+                / max(resident["ipc_bytes_per_round"], 1.0)
+            )
+            derived[f"resident_over_legacy_throughput_x_{n}"] = (
+                resident["rounds_per_s"] / legacy["rounds_per_s"]
+            )
+
+    report = {
+        "meta": {
+            "generated_by": "benchmarks/bench_backend_scaling.py",
+            "smoke": args.smoke,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "timed_rounds": timed_rounds,
+            "workload": "FedGuard (decoders enabled), tiny model, "
+                        "1 local epoch, 40 samples/client",
+        },
+        "results": results,
+        "derived": derived,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {out_path}")
+
+    if args.check:
+        failures = check_floor(results, min(sizes))
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,22 @@ def test_bench_decoder_generation(benchmark):
     benchmark(lambda: cvae.generate(labels, rng))
 
 
+def test_bench_im2col_indices_uncached(benchmark):
+    """The seed's per-call index construction (cache bypassed)."""
+    from repro.nn.functional import _im2col_indices_cached
+
+    compute = _im2col_indices_cached.__wrapped__
+    benchmark(lambda: compute(8, 16, 16, 5, 5, 2, 1))
+
+
+def test_bench_im2col_indices_cached(benchmark):
+    """The memoized path every conv forward/backward now takes."""
+    from repro.nn.functional import im2col_indices
+
+    im2col_indices((32, 8, 16, 16), 5, 5, 2, 1)  # warm the cache
+    benchmark(lambda: im2col_indices((32, 8, 16, 16), 5, 5, 2, 1))
+
+
 def test_bench_parameter_roundtrip(benchmark):
     model = scaled_cnn(16, np.random.default_rng(1))
     buf = np.empty(model.count_parameters())

@@ -73,6 +73,17 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                         help="latency channel: fixed per-message seconds")
     parser.add_argument("--bandwidth", type=float, default=None,
                         help="latency channel: link bytes/second (0 = infinite)")
+    parser.add_argument("--decoder-cache", action="store_true", default=None,
+                        help="enable the server-side decoder wire cache "
+                             "(a client's θ_j crosses the channel once; later "
+                             "uploads send an 8-byte reference)")
+    parser.add_argument("--backend", choices=["sequential", "process",
+                                              "process_legacy"],
+                        default=None,
+                        help="client execution backend (default: sequential; "
+                             "'process' = worker-resident pool)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process backend: worker count (default: cpu count)")
 
 
 def _config_from_args(args) -> FederationConfig:
@@ -96,6 +107,13 @@ def _config_from_args(args) -> FederationConfig:
     if getattr(args, "bandwidth", None) is not None:
         overrides["channel_bytes_per_s"] = args.bandwidth
         overrides.setdefault("channel", "latency")
+    if getattr(args, "decoder_cache", None):
+        overrides["decoder_cache"] = True
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "workers", None) is not None:
+        overrides["backend_workers"] = args.workers
+        overrides.setdefault("backend", "process")
     base = (
         FederationConfig.tiny
         if getattr(args, "profile", "scaled") == "tiny"

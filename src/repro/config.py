@@ -110,6 +110,12 @@ class FederationConfig:
     channel_latency_base_s: float = 0.0   # latency: fixed per-message seconds
     channel_bytes_per_s: float = 0.0      # latency: link bandwidth (0 = infinite)
     channel_latency_spread: float = 0.0   # latency: per-client slowdown (lognormal σ)
+    decoder_cache: bool = False         # server-side θ_j wire cache (dedup uploads)
+
+    # execution backend (repro.fl.parallel; a pure throughput knob — results
+    # are identical across backends)
+    backend: str = "sequential"         # "sequential" | "process" | "process_legacy"
+    backend_workers: int = 0            # worker processes (0 = cpu count)
 
     # models
     model: ModelConfig = field(default_factory=ModelConfig)
@@ -138,6 +144,15 @@ class FederationConfig:
                      "channel_latency_spread"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.backend not in ("sequential", "process", "process_legacy"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of ('sequential', 'process', 'process_legacy')"
+            )
+        if self.backend_workers < 0:
+            raise ValueError(
+                f"backend_workers must be >= 0, got {self.backend_workers}"
+            )
 
     @property
     def t_samples(self) -> int:

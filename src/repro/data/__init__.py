@@ -7,6 +7,7 @@ from .partition import (
     dirichlet_partition,
     iid_partition,
     partition_dataset,
+    partition_indices,
     pathological_partition,
 )
 from .synthetic_mnist import (
@@ -29,6 +30,7 @@ __all__ = [
     "iid_partition",
     "pathological_partition",
     "partition_dataset",
+    "partition_indices",
     "load_mnist",
     "read_idx",
     "write_idx",

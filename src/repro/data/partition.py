@@ -17,6 +17,7 @@ __all__ = [
     "dirichlet_partition",
     "iid_partition",
     "pathological_partition",
+    "partition_indices",
     "partition_dataset",
 ]
 
@@ -128,6 +129,31 @@ def pathological_partition(
     return parts
 
 
+def partition_indices(
+    labels: np.ndarray,
+    n_clients: int,
+    rng: np.random.Generator,
+    scheme: str = "dirichlet",
+    alpha: float = 10.0,
+    classes_per_client: int = 2,
+    min_samples: int = 2,
+) -> list[np.ndarray]:
+    """Per-client index arrays for the named scheme.
+
+    The index arrays are a partition's portable form: the resident
+    execution backend ships them (instead of the subsetted pixel data) so
+    a worker process can rebuild a client's dataset from the regenerated
+    train pool.
+    """
+    if scheme == "dirichlet":
+        return dirichlet_partition(labels, n_clients, alpha, rng, min_samples)
+    if scheme == "iid":
+        return iid_partition(labels, n_clients, rng)
+    if scheme == "pathological":
+        return pathological_partition(labels, n_clients, classes_per_client, rng)
+    raise ValueError(f"unknown partition scheme {scheme!r}")
+
+
 def partition_dataset(
     dataset: Dataset,
     n_clients: int,
@@ -138,12 +164,9 @@ def partition_dataset(
     min_samples: int = 2,
 ) -> list[Dataset]:
     """Split a dataset into per-client datasets using the named scheme."""
-    if scheme == "dirichlet":
-        parts = dirichlet_partition(dataset.labels, n_clients, alpha, rng, min_samples)
-    elif scheme == "iid":
-        parts = iid_partition(dataset.labels, n_clients, rng)
-    elif scheme == "pathological":
-        parts = pathological_partition(dataset.labels, n_clients, classes_per_client, rng)
-    else:
-        raise ValueError(f"unknown partition scheme {scheme!r}")
+    parts = partition_indices(
+        dataset.labels, n_clients, rng,
+        scheme=scheme, alpha=alpha,
+        classes_per_client=classes_per_client, min_samples=min_samples,
+    )
     return [dataset.subset(p) for p in parts]

@@ -28,6 +28,7 @@ Design knobs beyond the paper's defaults, all called out in its
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -175,14 +176,23 @@ class FedGuard(Strategy):
         global_weights: np.ndarray,
         context: ServerContext,
     ) -> AggregationResult:
+        audit_t0 = time.perf_counter()
         synth_x, synth_y = self.synthesize(updates, context)
+        # One C-contiguous validation batch, one classifier shell, one
+        # predict() per update — the audit must stay a handful of BLAS
+        # calls, never a per-sample Python loop.
+        synth_x = np.ascontiguousarray(synth_x)
+        assert synth_x.flags["C_CONTIGUOUS"]
+        assert synth_x.shape[0] == synth_y.size
 
         classifier = context.make_classifier()
         accuracies = np.empty(len(updates))
         for i, update in enumerate(updates):
             nn.vector_to_parameters(update.weights, classifier)
             preds = classifier.predict(synth_x)
+            assert preds.shape == synth_y.shape  # whole-batch predict, not per-sample
             accuracies[i] = np.mean(preds == synth_y)
+        audit_time_s = time.perf_counter() - audit_t0
 
         mean_acc = accuracies.mean()
         keep = accuracies >= mean_acc
@@ -200,5 +210,6 @@ class FedGuard(Strategy):
                 "audit_acc_mean": float(mean_acc),
                 "audit_acc_min": float(accuracies.min()),
                 "audit_acc_max": float(accuracies.max()),
+                "audit_time_s": audit_time_s,
             },
         )

@@ -1,11 +1,18 @@
 """Federated-learning simulation layer (the paper's Algorithm 1 substrate)."""
 
-from .client import FLClient, train_classifier, train_cvae
+from .client import ClientRecipe, FLClient, train_classifier, train_cvae
 from .history import History, RoundRecord
-from .parallel import ExecutionBackend, ProcessPoolBackend, SequentialBackend
+from .parallel import (
+    ExecutionBackend,
+    IPCStats,
+    LegacyProcessPoolBackend,
+    ProcessPoolBackend,
+    SequentialBackend,
+    make_backend,
+)
 from .sampling import ClientSampler, ReputationSampler, UniformSampler
 from .server import RoundContext, Server
-from .simulation import build_federation, run_federation
+from .simulation import build_federation, regenerate_train_pool, run_federation
 from .strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from .transport import (
     BroadcastMessage,
@@ -21,6 +28,7 @@ from .updates import ClientUpdate
 
 __all__ = [
     "FLClient",
+    "ClientRecipe",
     "train_classifier",
     "train_cvae",
     "ClientUpdate",
@@ -34,9 +42,13 @@ __all__ = [
     "RoundRecord",
     "build_federation",
     "run_federation",
+    "regenerate_train_pool",
     "ExecutionBackend",
     "SequentialBackend",
     "ProcessPoolBackend",
+    "LegacyProcessPoolBackend",
+    "IPCStats",
+    "make_backend",
     "ClientSampler",
     "UniformSampler",
     "ReputationSampler",

@@ -15,9 +15,18 @@ Attack plumbing mirrors the threat model:
 
 Per the paper's footnote 5, the partition is static so the CVAE is trained
 once and cached across rounds.
+
+For the worker-resident execution backend
+(:class:`~repro.fl.parallel.ProcessPoolBackend`), a client is described by
+its :class:`ClientRecipe` — partition indices + config + RNG state + attack
+spec — so a worker process can rebuild it locally *once* instead of
+receiving the full pickled state (dataset, model shell, trained CVAE)
+every round.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +37,7 @@ from ..data.dataset import Dataset
 from ..models import build_classifier, build_cvae
 from .updates import ClientUpdate
 
-__all__ = ["FLClient", "train_classifier", "train_cvae"]
+__all__ = ["FLClient", "ClientRecipe", "train_classifier", "train_cvae"]
 
 
 def train_classifier(
@@ -103,6 +112,56 @@ def train_cvae(
     return last_epoch_loss
 
 
+@dataclass
+class ClientRecipe:
+    """A client's construction recipe: enough to rebuild it in a worker.
+
+    Two modes:
+
+    * **rebuild** (``partition_indices`` set) — the worker regenerates the
+      federation's seeded training pool once per process, slices this
+      client's partition by index, restores the construction-time RNG
+      state, and replays ``FLClient.__init__`` (including data-poisoning)
+      bit-identically. Only indices, config, RNG state, and the (small)
+      attack/stream objects cross the process boundary.
+    * **snapshot** (``snapshot`` set) — fallback for clients without index
+      provenance or with post-construction state (already fitted, decoder
+      trained): the full client object ships once.
+
+    Attack identity is preserved *within* one pickled recipe batch, so
+    seed-derived colluders placed on the same worker keep sharing state.
+    """
+
+    client_id: int
+    config: FederationConfig
+    partition_indices: np.ndarray | None = None
+    rng_state: dict | None = None
+    attack: Attack | None = None
+    stream: object = None
+    snapshot: "FLClient | None" = field(default=None, repr=False)
+
+    def build(self) -> "FLClient":
+        """Materialize the client inside the current process."""
+        if self.snapshot is not None:
+            return self.snapshot
+        from .simulation import regenerate_train_pool
+
+        pool = regenerate_train_pool(self.config)
+        dataset = pool.subset(self.partition_indices)
+        bit_generator = getattr(np.random, self.rng_state["bit_generator"])()
+        rng = np.random.Generator(bit_generator)
+        rng.bit_generator.state = self.rng_state
+        return FLClient(
+            client_id=self.client_id,
+            dataset=dataset,
+            config=self.config,
+            rng=rng,
+            attack=self.attack,
+            stream=self.stream,
+            partition_indices=self.partition_indices,
+        )
+
+
 class FLClient:
     """One simulated federated participant.
 
@@ -120,6 +179,11 @@ class FLClient:
     attack:
         ``None`` for benign clients; otherwise the installed adversarial
         behaviour.
+    partition_indices:
+        Indices of this client's partition into the federation's seeded
+        training pool (set by ``build_federation``). Enables the cheap
+        rebuild mode of :meth:`make_recipe`; optional for hand-built
+        clients, which fall back to snapshot recipes.
     """
 
     def __init__(
@@ -130,6 +194,7 @@ class FLClient:
         rng: np.random.Generator,
         attack: Attack | None = None,
         stream=None,
+        partition_indices: np.ndarray | None = None,
     ) -> None:
         self.client_id = client_id
         self.config = config
@@ -138,6 +203,15 @@ class FLClient:
         # Dynamic-dataset support (§VI-C): an optional DataStream the
         # client pulls fresh samples from each round.
         self.stream = stream
+        self.partition_indices = (
+            np.asarray(partition_indices, dtype=np.int64)
+            if partition_indices is not None
+            else None
+        )
+        # Construction-time RNG snapshot, captured *before* any draw, so a
+        # recipe rebuild replays data-poisoning and shell init exactly.
+        self._init_rng_state = rng.bit_generator.state
+        self._rounds_fit = 0
 
         if isinstance(attack, DataPoisoningAttack):
             dataset = attack.apply(dataset, rng)
@@ -148,7 +222,34 @@ class FLClient:
         self._model = build_classifier(config.model, rng)
         self._cvae = None
         self._decoder_vector: np.ndarray | None = None
+        self._decoder_version = 0
         self.cvae_loss: float = float("nan")
+
+    def make_recipe(self) -> ClientRecipe:
+        """The recipe a worker process rebuilds this client from.
+
+        Cheap rebuild mode requires index provenance and a client that has
+        not evolved past construction (no fits, no trained CVAE) — the
+        exact state a fresh ``build_federation`` produces. Anything else
+        ships as a one-time snapshot instead, never silently wrong.
+        """
+        rebuildable = (
+            self.partition_indices is not None
+            and self._rounds_fit == 0
+            and self._decoder_vector is None
+        )
+        if rebuildable:
+            return ClientRecipe(
+                client_id=self.client_id,
+                config=self.config,
+                partition_indices=self.partition_indices,
+                rng_state=self._init_rng_state,
+                attack=self.attack,
+                stream=self.stream,
+            )
+        return ClientRecipe(
+            client_id=self.client_id, config=self.config, snapshot=self
+        )
 
     @property
     def is_malicious(self) -> bool:
@@ -177,6 +278,9 @@ class FLClient:
                 batch_size=cfg.cvae_batch_size, rng=self.rng,
             )
             self._decoder_vector = nn.parameters_to_vector(self._cvae.decoder)
+            # Version every (re)train: the transport decoder cache and the
+            # resident backend's upload dedup key on it.
+            self._decoder_version += 1
         return self._decoder_vector
 
     # -- dynamic data ---------------------------------------------------------
@@ -222,6 +326,7 @@ class FLClient:
             refresh schedule in the dynamic-dataset setting).
         """
         cfg = self.config
+        self._rounds_fit += 1
         self.ingest_stream(round_idx)
         nn.vector_to_parameters(global_weights, self._model)
         train_loss = train_classifier(
@@ -246,6 +351,7 @@ class FLClient:
             weights=weights,
             num_samples=self.num_samples,
             decoder_weights=decoder,
+            decoder_version=self._decoder_version if include_decoder else 0,
             # §VI-B: advertise which classes the CVAE actually saw, so a
             # class-aware server never asks a decoder for a digit it
             # cannot draw. (For a label-flipping client this reflects the

@@ -1,12 +1,28 @@
 """Client execution backends: sequential and process-parallel.
 
-The paper's testbed trains 100 clients across 4 GPU nodes in parallel;
-this module provides the equivalent for the simulation. The
-:class:`ProcessPoolExecutorBackend` ships each sampled client's state to a
-worker process, runs the local round there, and returns the update plus
-the (once-trained) CVAE decoder so the main process can cache it — the
-decoder-train-once contract of the paper's footnote 5 survives
-parallelization.
+The paper's testbed trains 100 clients across GPU nodes in parallel; this
+module provides the equivalent for the simulation. Two parallel designs
+coexist:
+
+* :class:`ProcessPoolBackend` — the **worker-resident** design. Each
+  persistent worker process receives its clients' construction recipes
+  (:class:`~repro.fl.client.ClientRecipe`: partition indices + config +
+  RNG state + attack spec) exactly once, rebuilds them locally, and keeps
+  them alive for the whole federation. Thereafter a round ships only
+  ``(round_idx, include_decoder, client_ids)`` plus the global weight
+  vector — published once per round through
+  :mod:`multiprocessing.shared_memory` instead of pickled per client —
+  and receives back only the update vector, scalars, and (first time per
+  :attr:`~repro.fl.updates.ClientUpdate.decoder_version`) the CVAE
+  decoder. Client→worker placement is **sticky** (``client_id mod
+  workers``), so trained CVAEs, streamed datasets, and RNG streams never
+  cross a process boundary again.
+* :class:`LegacyProcessPoolBackend` — the seed's design, kept as the
+  benchmark baseline (``benchmarks/bench_backend_scaling.py``): it
+  re-pickles each sampled client's *entire* state (private dataset, model
+  shell, trained CVAE, attack object) to a worker every round and ships
+  the dataset back even when it never changed, so it "only wins with long
+  local training".
 
 Notes for users:
 
@@ -15,23 +31,35 @@ Notes for users:
   backend is a pure throughput knob. One caveat: attacks whose collusion
   state is *built at runtime from another colluder's update* (only
   ``DirectedDeviationAttack``, marked ``runtime_collusion = True``) lose
-  cross-client sharing under process isolation, because each worker
-  mutates a pickled copy of the attack — every colluder then deviates
-  along its own direction instead of the first colluder's.
-  :class:`ProcessPoolBackend` refuses such batches with a ``RuntimeError``
-  instead of silently mis-simulating the attack. Seed-derived collusion
+  cross-client sharing under process isolation — every colluder would
+  deviate along its own direction instead of the first colluder's. Both
+  pool backends refuse such batches with a ``RuntimeError`` instead of
+  silently mis-simulating the attack. Seed-derived collusion
   (``AdditiveNoiseAttack``, ``DecoderPoisoningAttack``) is unaffected.
   Run order-dependent colluding attacks on the sequential backend.
-* Process workers pay a serialization cost of roughly the client's
-  dataset + model. For the scaled configs this is well under a megabyte
-  per client; for paper_full-sized models the per-round shipping cost is
-  ~13 MB per client and the pool only wins with long local training.
+* With the resident backend the *authoritative* client state (dataset,
+  stream position, RNG, trained CVAE) lives in the workers; main-process
+  ``FLClient`` objects stay at their construction-time snapshot, except
+  that uploaded decoder vectors are written back for inspection (the
+  train-once contract of the paper's footnote 5 stays observable).
+  Consequently a federation should run on one backend for its whole
+  lifetime — do not alternate backends mid-run.
+* Process-boundary cost is tracked in :class:`IPCStats` (pickled bytes in
+  each direction), deliberately separate from the transport layer's
+  *wire* accounting: IPC bytes measure the simulator, wire bytes model
+  the federation.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -39,11 +67,71 @@ from .client import FLClient
 from .transport import BroadcastMessage, SubmitMessage
 from .updates import ClientUpdate
 
-__all__ = ["SequentialBackend", "ProcessPoolBackend", "ExecutionBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ProcessPoolBackend",
+    "LegacyProcessPoolBackend",
+    "IPCStats",
+    "make_backend",
+    "BACKEND_KINDS",
+]
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+@dataclass
+class IPCStats:
+    """Cumulative process-boundary (pickle) byte accounting for a backend.
+
+    This measures the *simulator's* serialization cost — what actually
+    crosses worker pipes — not the modeled federation wire bytes, which
+    live in :class:`~repro.fl.transport.TransportStats`.
+    """
+
+    bytes_sent: int = 0      # main → workers
+    bytes_received: int = 0  # workers → main
+    rounds: int = 0          # fit batches executed
+
+    @property
+    def total_nbytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def per_round_nbytes(self) -> float:
+        """Mean pickled bytes per executed round (0 if none ran)."""
+        return self.total_nbytes / self.rounds if self.rounds else 0.0
+
+
+def _reject_runtime_collusion(clients: list[FLClient]) -> None:
+    """Fail loudly instead of silently mis-simulating collusion.
+
+    An attack flagged ``runtime_collusion`` shares state that one colluder
+    *creates during the round* (DirectedDeviation's first estimated
+    direction). Worker processes mutate isolated copies, so with two or
+    more such colluders in a batch each would deviate along its own
+    direction — a different attack than the sequential semantics.
+    """
+    shared: dict[int, int] = {}
+    for client in clients:
+        attack = client.attack
+        if attack is not None and getattr(attack, "runtime_collusion", False):
+            shared[id(attack)] = shared.get(id(attack), 0) + 1
+    offenders = {count for count in shared.values() if count >= 2}
+    if offenders:
+        raise RuntimeError(
+            "process-pool backends cannot simulate runtime-colluding attacks "
+            "(e.g. DirectedDeviationAttack): worker processes mutate "
+            "isolated attack copies, so colluders would no longer share "
+            "the first colluder's direction. Run this scenario on "
+            "SequentialBackend instead."
+        )
 
 
 class ExecutionBackend:
     """Interface: run one federated round's client fits."""
+
+    def __init__(self) -> None:
+        self.ipc_stats = IPCStats()
 
     def execute(
         self,
@@ -95,8 +183,315 @@ class SequentialBackend(ExecutionBackend):
             t0 = time.perf_counter()
             updates.append(client.fit(global_weights, include_decoder, round_idx))
             times.append(time.perf_counter() - t0)
+        self.ipc_stats.rounds += 1
         return updates, times
 
+
+# ---------------------------------------------------------------------------
+# Worker-resident process pool
+# ---------------------------------------------------------------------------
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Before 3.13 attaching registers the segment as if this process owned
+    it; with the tracker shared across forked workers and keyed by name,
+    reader-side registrations corrupt the creator's accounting (spurious
+    unlink warnings / KeyErrors at shutdown). The main process is the sole
+    owner and unlinker, so readers attach untracked.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register_skipping_shm(path, rtype):
+        if rtype != "shared_memory":
+            original(path, rtype)
+
+    resource_tracker.register = register_skipping_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _resolve_weights(ref):
+    """Worker side: materialize the round's global weight vector.
+
+    A shared-memory reference is copied out immediately and the segment
+    closed — the main process unlinks it right after the round, and no
+    client may keep a view into a vanishing buffer (``bind_global`` hooks
+    hold on to the vector).
+    """
+    if ref[0] == "shm":
+        _, name, shape, dtype = ref
+        segment = _attach_untracked(name)
+        try:
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            return np.array(view)
+        finally:
+            segment.close()
+    return ref[1]
+
+
+def _pack_update(update: ClientUpdate, elapsed: float,
+                 shipped_versions: dict[int, int]) -> dict:
+    """Worker side: reduce one fit result to its minimal IPC payload.
+
+    The decoder vector ships only when its version is newer than the last
+    one this worker sent for the client — the main process replays older
+    versions from its store.
+    """
+    decoder = None
+    if update.decoder_weights is not None:
+        if shipped_versions.get(update.client_id) != update.decoder_version:
+            decoder = update.decoder_weights
+            shipped_versions[update.client_id] = update.decoder_version
+    return {
+        "client_id": update.client_id,
+        "weights": update.weights,
+        "num_samples": update.num_samples,
+        "has_decoder": update.decoder_weights is not None,
+        "decoder_weights": decoder,
+        "decoder_version": update.decoder_version,
+        "decoder_classes": update.decoder_classes,
+        "train_loss": update.train_loss,
+        "malicious": update.malicious,
+        "elapsed_s": elapsed,
+    }
+
+
+def _resident_worker_main(conn) -> None:
+    """Event loop of one persistent worker process.
+
+    Protocol (every message is one pickled tuple over the duplex pipe):
+
+    * ``("install", [ClientRecipe, ...])`` — rebuild and adopt clients;
+      no reply (errors surface on the next round reply).
+    * ``("round", round_idx, include_decoder, [client_id, ...],
+      weights_ref)`` — fit the listed resident clients in order; replies
+      ``("ok", [packed_update, ...])`` or ``("error", traceback)``.
+    * ``("close",)`` — exit.
+    """
+    clients: dict[int, FLClient] = {}
+    shipped_versions: dict[int, int] = {}
+    pending_error: str | None = None
+    while True:
+        try:
+            message = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "close":
+            conn.close()
+            return
+        if kind == "install":
+            try:
+                for recipe in message[1]:
+                    clients[recipe.client_id] = recipe.build()
+            except Exception:  # noqa: BLE001 - forwarded to the main process
+                pending_error = traceback.format_exc()
+            continue
+        # kind == "round"
+        try:
+            if pending_error is not None:
+                raise RuntimeError(f"client install failed:\n{pending_error}")
+            _, round_idx, include_decoder, client_ids, weights_ref = message
+            weights = _resolve_weights(weights_ref)
+            results = []
+            for client_id in client_ids:
+                client = clients[client_id]
+                t0 = time.perf_counter()
+                update = client.fit(weights, include_decoder, round_idx)
+                elapsed = time.perf_counter() - t0
+                results.append(_pack_update(update, elapsed, shipped_versions))
+            reply = ("ok", results)
+        except Exception:  # noqa: BLE001 - forwarded to the main process
+            reply = ("error", traceback.format_exc())
+        conn.send_bytes(pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
+
+
+class _WorkerHandle:
+    """Main-process handle for one resident worker: process + counted pipe."""
+
+    def __init__(self, ctx, index: int, ipc_stats: IPCStats) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_resident_worker_main,
+            args=(child_conn,),
+            name=f"repro-resident-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self._ipc_stats = ipc_stats
+
+    def send(self, message) -> None:
+        data = pickle.dumps(message, protocol=_PICKLE_PROTOCOL)
+        self._ipc_stats.bytes_sent += len(data)
+        self.conn.send_bytes(data)
+
+    def recv(self):
+        data = self.conn.recv_bytes()
+        self._ipc_stats.bytes_received += len(data)
+        return pickle.loads(data)
+
+    def shutdown(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send_bytes(
+                    pickle.dumps(("close",), protocol=_PICKLE_PROTOCOL)
+                )
+        except (BrokenPipeError, OSError):
+            pass
+        self.conn.close()
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Persistent worker-resident process pool (see module docstring).
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; ``None`` uses the CPU count.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self._workers: list[_WorkerHandle] | None = None
+        self._resident_ids: set[int] = set()
+        # client_id -> (decoder_version, θ_j): replay store for updates
+        # whose decoder stayed worker-side (already shipped earlier).
+        self._decoder_store: dict[int, tuple[int, np.ndarray]] = {}
+
+    # -- pool management -----------------------------------------------------
+    def _ensure_workers(self) -> list[_WorkerHandle]:
+        if self._workers is None:
+            n = self.max_workers or os.cpu_count() or 1
+            methods = multiprocessing.get_all_start_methods()
+            # fork shares the main process's regenerated-pool cache and
+            # resource tracker; fall back to the platform default elsewhere.
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._workers = [
+                _WorkerHandle(ctx, i, self.ipc_stats) for i in range(n)
+            ]
+        return self._workers
+
+    def _publish_weights(self, weights: np.ndarray):
+        """Publish ψ* once for the whole round; returns (ref, segment)."""
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=weights.nbytes)
+        except OSError:  # pragma: no cover - platform without POSIX shm
+            return ("inline", weights), None
+        np.ndarray(weights.shape, dtype=weights.dtype, buffer=segment.buf)[:] = weights
+        return ("shm", segment.name, weights.shape, str(weights.dtype)), segment
+
+    # -- the round -----------------------------------------------------------
+    def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
+        _reject_runtime_collusion(clients)
+        workers = self._ensure_workers()
+
+        # Sticky placement: client_id mod workers, stable for the whole
+        # federation, so resident state (CVAE, stream, RNG) never moves.
+        by_worker: dict[int, list[FLClient]] = {}
+        for client in clients:
+            by_worker.setdefault(client.client_id % len(workers), []).append(client)
+
+        # First contact only: ship construction recipes.
+        for worker_idx, group in by_worker.items():
+            fresh = [
+                client.make_recipe()
+                for client in group
+                if client.client_id not in self._resident_ids
+            ]
+            if fresh:
+                workers[worker_idx].send(("install", fresh))
+                self._resident_ids.update(recipe.client_id for recipe in fresh)
+
+        weights = np.ascontiguousarray(global_weights, dtype=np.float64)
+        ref, segment = self._publish_weights(weights)
+        packed_by_id: dict[int, dict] = {}
+        try:
+            for worker_idx, group in by_worker.items():
+                workers[worker_idx].send(
+                    ("round", round_idx, include_decoder,
+                     [client.client_id for client in group], ref)
+                )
+            for worker_idx in by_worker:
+                status, payload = workers[worker_idx].recv()
+                if status == "error":
+                    raise RuntimeError(f"resident worker failed:\n{payload}")
+                for packed in payload:
+                    packed_by_id[packed["client_id"]] = packed
+        finally:
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+
+        updates, times = [], []
+        for client in clients:  # reassemble in round order
+            packed = packed_by_id[client.client_id]
+            updates.append(self._unpack_update(client, packed))
+            times.append(packed["elapsed_s"])
+        self.ipc_stats.rounds += 1
+        return updates, times
+
+    def _unpack_update(self, client: FLClient, packed: dict) -> ClientUpdate:
+        decoder = packed["decoder_weights"]
+        if decoder is not None:
+            self._decoder_store[packed["client_id"]] = (
+                packed["decoder_version"], np.asarray(decoder, dtype=np.float64),
+            )
+            # Keep the main-process shell inspectable: the train-once CVAE
+            # contract stays observable outside the worker.
+            client._decoder_vector = self._decoder_store[packed["client_id"]][1]
+            client._decoder_version = packed["decoder_version"]
+        elif packed["has_decoder"]:
+            stored = self._decoder_store.get(packed["client_id"])
+            if stored is None or stored[0] != packed["decoder_version"]:
+                raise RuntimeError(
+                    f"decoder replay miss for client {packed['client_id']}: "
+                    f"worker referenced version {packed['decoder_version']}, "
+                    f"store has {stored[0] if stored else None}"
+                )
+            decoder = stored[1]
+        return ClientUpdate(
+            client_id=packed["client_id"],
+            weights=packed["weights"],
+            num_samples=packed["num_samples"],
+            decoder_weights=decoder,
+            decoder_classes=packed["decoder_classes"],
+            decoder_version=packed["decoder_version"],
+            train_loss=packed["train_loss"],
+            malicious=packed["malicious"],
+        )
+
+    def close(self) -> None:
+        if self._workers is not None:
+            for worker in self._workers:
+                worker.shutdown()
+            self._workers = None
+            self._resident_ids.clear()
+            self._decoder_store.clear()
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Legacy full-state-shipping pool (benchmark baseline)
+# ---------------------------------------------------------------------------
 
 def _fit_worker(payload):
     """Worker-side: run one client fit and return its mutated CVAE state.
@@ -108,21 +503,33 @@ def _fit_worker(payload):
     update = client.fit(global_weights, include_decoder, round_idx)
     elapsed = time.perf_counter() - t0
     decoder_cache = client._decoder_vector if include_decoder else None
-    return (update, elapsed, decoder_cache, client.rng.bit_generator.state,
-            client.dataset, client.stream)
+    return (update, elapsed, decoder_cache, client._decoder_version,
+            client.rng.bit_generator.state, client.dataset, client.stream)
 
 
-class ProcessPoolBackend(ExecutionBackend):
-    """Run client fits on a persistent :class:`ProcessPoolExecutor`.
+class LegacyProcessPoolBackend(ExecutionBackend):
+    """The seed's pool: re-ships full client state every round.
+
+    Kept as the measured baseline for the resident design
+    (``benchmarks/bench_backend_scaling.py``); prefer
+    :class:`ProcessPoolBackend` for real runs.
 
     Parameters
     ----------
     max_workers:
         Worker process count; ``None`` lets the executor pick (cpu count).
+    measure_ipc:
+        When True, every payload and result is additionally pickled to
+        count its bytes into :attr:`ipc_stats` — honest accounting for the
+        benchmark, but it doubles serialization work, so it is off by
+        default.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(self, max_workers: int | None = None,
+                 measure_ipc: bool = False) -> None:
+        super().__init__()
         self.max_workers = max_workers
+        self.measure_ipc = measure_ipc
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -130,38 +537,23 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
-    @staticmethod
-    def _reject_runtime_collusion(clients: list[FLClient]) -> None:
-        """Fail loudly instead of silently mis-simulating collusion.
-
-        An attack flagged ``runtime_collusion`` shares state that one
-        colluder *creates during the round* (DirectedDeviation's first
-        estimated direction). Workers mutate pickled copies, so with two
-        or more such colluders in a batch each would deviate along its own
-        direction — a different attack than the sequential semantics.
-        """
-        shared: dict[int, int] = {}
-        for client in clients:
-            attack = client.attack
-            if attack is not None and getattr(attack, "runtime_collusion", False):
-                shared[id(attack)] = shared.get(id(attack), 0) + 1
-        offenders = {count for count in shared.values() if count >= 2}
-        if offenders:
-            raise RuntimeError(
-                "ProcessPoolBackend cannot simulate runtime-colluding attacks "
-                "(e.g. DirectedDeviationAttack): worker processes mutate "
-                "pickled attack copies, so colluders would no longer share "
-                "the first colluder's direction. Run this scenario on "
-                "SequentialBackend instead."
-            )
-
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
-        self._reject_runtime_collusion(clients)
+        _reject_runtime_collusion(clients)
         pool = self._ensure_pool()
         payloads = [(c, global_weights, include_decoder, round_idx) for c in clients]
+        if self.measure_ipc:
+            for payload in payloads:
+                self.ipc_stats.bytes_sent += len(
+                    pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+                )
         updates, times = [], []
         for client, result in zip(clients, pool.map(_fit_worker, payloads)):
-            update, elapsed, decoder_cache, rng_state, dataset, stream = result
+            if self.measure_ipc:
+                self.ipc_stats.bytes_received += len(
+                    pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+                )
+            (update, elapsed, decoder_cache, decoder_version,
+             rng_state, dataset, stream) = result
             updates.append(update)
             times.append(elapsed)
             # Write back the worker-side state so the main-process client
@@ -169,9 +561,11 @@ class ProcessPoolBackend(ExecutionBackend):
             # dataset, and an RNG stream in sync with sequential execution.
             if decoder_cache is not None:
                 client._decoder_vector = decoder_cache
+                client._decoder_version = decoder_version
             client.dataset = dataset
             client.stream = stream
             client.rng.bit_generator.state = rng_state
+        self.ipc_stats.rounds += 1
         return updates, times
 
     def close(self) -> None:
@@ -179,8 +573,24 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def __enter__(self) -> "ProcessPoolBackend":
+    def __enter__(self) -> "LegacyProcessPoolBackend":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+BACKEND_KINDS = ("sequential", "process", "process_legacy")
+
+
+def make_backend(config) -> ExecutionBackend:
+    """Build the backend a :class:`~repro.config.FederationConfig` asks for."""
+    kind = config.backend
+    workers = config.backend_workers or None
+    if kind == "sequential":
+        return SequentialBackend()
+    if kind == "process":
+        return ProcessPoolBackend(max_workers=workers)
+    if kind == "process_legacy":
+        return LegacyProcessPoolBackend(max_workers=workers)
+    raise ValueError(f"unknown backend kind {kind!r}; known: {BACKEND_KINDS}")

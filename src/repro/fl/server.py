@@ -283,6 +283,17 @@ class Server:
         ]
         duration_s = (max(per_client_s) if per_client_s else 0.0) + ctx.aggregation_time_s
 
+        # Decoder-cache metrics appear only when the wire cache is on:
+        # default-off runs keep byte-identical records (golden histories).
+        cache_metrics = (
+            {
+                "decoder_cache_hits": stats.decoder_cache_hits,
+                "decoder_cache_saved_nbytes": stats.decoder_cache_saved_nbytes,
+            }
+            if getattr(self.channel, "decoder_cache_enabled", False)
+            else {}
+        )
+
         return RoundRecord(
             round_idx=ctx.round_idx,
             accuracy=ctx.accuracy,
@@ -299,6 +310,7 @@ class Server:
                 "client_time_sum_s": sum(fit_times),
                 "aggregation_time_s": ctx.aggregation_time_s,
                 "transport_latency_max_s": stats.max_latency_s,
+                **cache_metrics,
                 **ctx.extra_metrics,
                 **ctx.result.metrics,
             },

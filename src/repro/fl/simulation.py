@@ -20,18 +20,54 @@ import numpy as np
 
 from ..attacks.scenario import AttackScenario, no_attack
 from ..config import FederationConfig
-from ..data import SynthMnistConfig, generate_dataset, partition_dataset
+from ..data import SynthMnistConfig, generate_dataset, partition_indices
 from ..models import build_classifier, build_decoder
 from .client import FLClient
 from .server import Server
 from .strategy import ServerContext, Strategy
 
-__all__ = ["build_federation", "run_federation"]
+__all__ = ["build_federation", "run_federation", "regenerate_train_pool"]
 
 # Auxiliary-dataset size granted to defenses that assume public data
 # (Spectral). Kept small relative to the training set — the paper's
 # point is that FedGuard needs none of it.
 AUX_FRACTION = 0.05
+
+# Regenerated train pools, keyed by what determines their content. Lets a
+# worker process rebuild a client's dataset from shipped partition indices
+# instead of receiving the pixel data over a pipe; bounded because pools
+# are the largest objects in a run.
+_TRAIN_POOL_CACHE: dict[tuple, object] = {}
+_TRAIN_POOL_CACHE_MAX = 4
+
+
+def _train_pool_key(config: FederationConfig) -> tuple:
+    return (config.seed, config.train_samples, config.model.image_size)
+
+
+def _remember_train_pool(config: FederationConfig, pool) -> None:
+    if len(_TRAIN_POOL_CACHE) >= _TRAIN_POOL_CACHE_MAX:
+        _TRAIN_POOL_CACHE.pop(next(iter(_TRAIN_POOL_CACHE)))
+    _TRAIN_POOL_CACHE[_train_pool_key(config)] = pool
+
+
+def regenerate_train_pool(config: FederationConfig):
+    """Rebuild (or fetch cached) the training pool ``build_federation`` made.
+
+    Replays the seeding discipline's prefix exactly: the root generator's
+    first spawned stream produces the train split *before anything else
+    draws from it*, so a worker process holding only the config recreates
+    bit-identical pixel data. With a fork start method workers usually
+    inherit the cache already warm and regenerate nothing.
+    """
+    key = _train_pool_key(config)
+    pool = _TRAIN_POOL_CACHE.get(key)
+    if pool is None:
+        data_rng = np.random.default_rng(config.seed).spawn(7)[0]
+        synth_cfg = SynthMnistConfig(image_size=config.model.image_size)
+        pool = generate_dataset(config.train_samples, data_rng, synth_cfg)
+        _remember_train_pool(config, pool)
+    return pool
 
 
 def _replay_factory(build, model_config, template_rng: np.random.Generator):
@@ -80,18 +116,20 @@ def build_federation(
 
     synth_cfg = SynthMnistConfig(image_size=config.model.image_size)
     train = generate_dataset(config.train_samples, data_rng, synth_cfg)
+    _remember_train_pool(config, train)  # lets worker recipes skip regeneration
     test = generate_dataset(config.test_samples, data_rng, synth_cfg)
 
     n_aux = max(int(config.train_samples * AUX_FRACTION), 32)
     auxiliary = generate_dataset(n_aux, data_rng, synth_cfg) if strategy.needs_auxiliary else None
 
-    partitions = partition_dataset(
-        train,
+    part_indices = partition_indices(
+        train.labels,
         config.n_clients,
         partition_rng,
         scheme=config.partition_scheme,
         alpha=config.partition_alpha,
     )
+    partitions = [train.subset(p) for p in part_indices]
 
     malicious_ids = scenario.malicious_ids(config.n_clients, malicious_rng)
     client_rngs = clients_rng.spawn(config.n_clients)
@@ -114,6 +152,7 @@ def build_federation(
             rng=client_rngs[cid],
             attack=scenario.attack if cid in malicious_ids else None,
             stream=streams[cid],
+            partition_indices=part_indices[cid],
         )
         for cid in range(config.n_clients)
     ]
@@ -146,6 +185,11 @@ def build_federation(
         from .transport import make_channel
 
         channel = make_channel(config)
+
+    if backend is None:
+        from .parallel import make_backend
+
+        backend = make_backend(config)
 
     return Server(
         clients=clients,

@@ -19,6 +19,8 @@ instead of propagating NaNs through a federation.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..analysis.contracts import array_contract
@@ -35,6 +37,47 @@ __all__ = [
 ]
 
 
+@functools.lru_cache(maxsize=None)
+def _im2col_indices_cached(
+    channels: int,
+    height: int,
+    width: int,
+    field_height: int,
+    field_width: int,
+    padding: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute (and memoize) the gather indices for one unfold geometry.
+
+    The arrays depend only on (C, H, W, kernel, padding, stride) — not on
+    the batch size — yet the seed recomputed them identically for every
+    batch of every epoch of every client. The cache is tiny (a handful of
+    geometries per federation) and the arrays are marked read-only so a
+    caller cannot corrupt a shared entry.
+    """
+    out_height = (height + 2 * padding - field_height) // stride + 1
+    out_width = (width + 2 * padding - field_width) // stride + 1
+    if out_height <= 0 or out_width <= 0:
+        raise ValueError(
+            f"im2col produced non-positive output size for input "
+            f"(N, {channels}, {height}, {width}) with kernel "
+            f"({field_height}, {field_width}), padding {padding}, "
+            f"stride {stride}"
+        )
+
+    i0 = np.repeat(np.arange(field_height), field_width)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_height), out_width)
+    j0 = np.tile(np.arange(field_width), field_height * channels)
+    j1 = stride * np.tile(np.arange(out_width), out_height)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), field_height * field_width).reshape(-1, 1)
+    for arr in (k, i, j):
+        arr.setflags(write=False)
+    return k, i, j
+
+
 def im2col_indices(
     x_shape: tuple[int, int, int, int],
     field_height: int,
@@ -43,6 +86,9 @@ def im2col_indices(
     stride: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Compute the (k, i, j) gather indices for an im2col unfold.
+
+    Results are cached per geometry (batch size does not participate);
+    the returned arrays are shared and read-only.
 
     Parameters
     ----------
@@ -62,24 +108,10 @@ def im2col_indices(
         receptive fields with shape ``(N, C*fh*fw, out_h*out_w)``.
     """
     _, channels, height, width = x_shape
-    out_height = (height + 2 * padding - field_height) // stride + 1
-    out_width = (width + 2 * padding - field_width) // stride + 1
-    if out_height <= 0 or out_width <= 0:
-        raise ValueError(
-            f"im2col produced non-positive output size for input {x_shape} "
-            f"with kernel ({field_height}, {field_width}), padding {padding}, "
-            f"stride {stride}"
-        )
-
-    i0 = np.repeat(np.arange(field_height), field_width)
-    i0 = np.tile(i0, channels)
-    i1 = stride * np.repeat(np.arange(out_height), out_width)
-    j0 = np.tile(np.arange(field_width), field_height * channels)
-    j1 = stride * np.tile(np.arange(out_width), out_height)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(channels), field_height * field_width).reshape(-1, 1)
-    return k, i, j
+    return _im2col_indices_cached(
+        int(channels), int(height), int(width),
+        int(field_height), int(field_width), int(padding), int(stride),
+    )
 
 
 @array_contract(x={"ndim": 4, "dtype": "numeric"})
@@ -154,13 +186,21 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 @array_contract(x={"dtype": "floating"})
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable elementwise logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable elementwise logistic sigmoid.
+
+    Computed in the input's own dtype: the seed allocated a float64
+    scratch array and round-tripped through it even for narrower inputs,
+    doubling the memory traffic of every CVAE reconstruction.
+    """
+    x = np.asarray(x)
+    if x.dtype.kind != "f":
+        x = x.astype(np.float64)
+    out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
-    return out.astype(x.dtype, copy=False)
+    return out
 
 
 @array_contract(x={"min_ndim": 1, "dtype": "floating"})

@@ -1,0 +1,226 @@
+"""Worker-resident backend tests: equivalence, stickiness, and dedup.
+
+The resident :class:`~repro.fl.parallel.ProcessPoolBackend` keeps clients
+alive inside persistent worker processes and ships recipes once, the
+global vector via shared memory, and each decoder at most once per
+version. None of that may change a single bit of any federation — the
+sequential backend is the referee, across every registered strategy and
+through a lossy channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario, no_attack
+from repro.attacks.optimized import DirectedDeviationAttack
+from repro.config import FederationConfig
+from repro.defenses import FedAvg, FedGuard
+from repro.experiments.scenarios import STRATEGY_FACTORIES, make_strategy
+from repro.experiments.storage import history_to_dict
+from repro.fl import (
+    InMemoryChannel,
+    LegacyProcessPoolBackend,
+    LossyChannel,
+    ProcessPoolBackend,
+    SequentialBackend,
+    build_federation,
+    make_backend,
+)
+from repro.fl.client import ClientRecipe
+
+
+def _strip_clocks(history) -> dict:
+    data = history_to_dict(history)
+    for r in data["rounds"]:
+        r.pop("duration_s")
+        r["metrics"] = {
+            k: v for k, v in r["metrics"].items() if not k.endswith("_s")
+        }
+    return data
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGY_FACTORIES))
+def test_resident_bit_identical_across_strategies_lossy(strategy_name):
+    """Every strategy's history — ids, accuracies, byte counts — must be
+    bit-identical to sequential execution, even with 30 % message loss."""
+    config = FederationConfig.tiny()
+    scenario = AttackScenario.sign_flipping(0.5)
+    seq = build_federation(
+        config, make_strategy(strategy_name), scenario,
+        backend=SequentialBackend(),
+        channel=LossyChannel(0.3, seed=config.seed),
+    ).run(rounds=2)
+    with ProcessPoolBackend(max_workers=2) as backend:
+        res = build_federation(
+            config, make_strategy(strategy_name), scenario,
+            backend=backend,
+            channel=LossyChannel(0.3, seed=config.seed),
+        ).run(rounds=2)
+    assert _strip_clocks(seq) == _strip_clocks(res)
+
+
+class TestStickyPlacementAndStreams:
+    def test_streaming_clients_identical_under_sticky_placement(self):
+        """Stream position and retention windows live worker-side; sticky
+        placement must keep them bit-consistent with sequential runs."""
+        config = FederationConfig.tiny(
+            rounds=3, stream_samples_per_round=10, stream_window=45,
+            cvae_refresh_every=2,
+        )
+        seq = build_federation(config, FedGuard(), no_attack()).run()
+        with ProcessPoolBackend(max_workers=2) as backend:
+            res = build_federation(
+                config, FedGuard(), no_attack(), backend=backend
+            ).run()
+        assert _strip_clocks(seq) == _strip_clocks(res)
+
+    def test_clients_do_not_move_between_workers(self):
+        config = FederationConfig.tiny()
+        with ProcessPoolBackend(max_workers=2) as backend:
+            server = build_federation(config, FedAvg(), no_attack(), backend=backend)
+            server.run(rounds=3)
+            n = len(backend._workers)
+            assert n == 2
+            # Sticky mapping is a pure function of the id — nothing to
+            # migrate, nothing to rebalance.
+            assert backend._resident_ids <= {c.client_id for c in server.clients}
+
+    def test_recipe_rebuild_matches_original_client(self):
+        """A recipe rebuilt in-process is indistinguishable from the
+        original: same data (post-poisoning), same RNG stream."""
+        config = FederationConfig.tiny()
+        scenario = AttackScenario.label_flipping(0.5)
+        server = build_federation(config, FedAvg(), scenario)
+        for client in server.clients:
+            recipe = client.make_recipe()
+            assert recipe.snapshot is None  # fresh clients rebuild cheaply
+            clone = recipe.build()
+            np.testing.assert_array_equal(clone.dataset.labels, client.dataset.labels)
+            np.testing.assert_array_equal(
+                clone.dataset.features, client.dataset.features
+            )
+            assert clone.rng.bit_generator.state == client.rng.bit_generator.state
+
+    def test_evolved_client_falls_back_to_snapshot(self):
+        config = FederationConfig.tiny()
+        server = build_federation(config, FedAvg(), no_attack())
+        client = server.clients[0]
+        client.fit(server.global_weights, include_decoder=False)
+        recipe = client.make_recipe()
+        assert recipe.snapshot is client
+
+    def test_handmade_client_without_indices_snapshots(self):
+        from repro.fl import FLClient
+        from repro.fl.simulation import regenerate_train_pool
+
+        config = FederationConfig.tiny()
+        pool = regenerate_train_pool(config)
+        client = FLClient(
+            client_id=0, dataset=pool.subset(np.arange(20)), config=config,
+            rng=np.random.default_rng(1),
+        )
+        assert client.make_recipe().snapshot is client
+
+
+class TestRuntimeCollusionRejection:
+    @pytest.mark.parametrize("backend_cls", [ProcessPoolBackend,
+                                             LegacyProcessPoolBackend])
+    def test_directed_deviation_batches_rejected(self, backend_cls):
+        config = FederationConfig.tiny(clients_per_round=4)
+        scenario = AttackScenario(
+            name="directed_deviation_50",
+            attack=DirectedDeviationAttack(colluding=True),
+            malicious_fraction=0.5,
+        )
+        with backend_cls(max_workers=2) as backend:
+            server = build_federation(config, FedAvg(), scenario, backend=backend)
+            with pytest.raises(RuntimeError, match="runtime-colluding"):
+                server.run(rounds=3)
+
+
+class TestDecoderDedup:
+    def test_resident_ships_fewer_ipc_bytes_than_legacy(self):
+        """The whole point: after installation, rounds move vectors and
+        scalars — not datasets, models, or repeated decoders."""
+        config = FederationConfig.tiny(rounds=3)
+        with ProcessPoolBackend(max_workers=2) as resident:
+            build_federation(
+                config, FedGuard(), no_attack(), backend=resident
+            ).run()
+            resident_bytes = resident.ipc_stats.total_nbytes
+        with LegacyProcessPoolBackend(max_workers=2, measure_ipc=True) as legacy:
+            build_federation(
+                config, FedGuard(), no_attack(), backend=legacy
+            ).run()
+            legacy_bytes = legacy.ipc_stats.total_nbytes
+        assert resident_bytes < legacy_bytes / 3
+
+    def test_decoder_crosses_ipc_once_per_version(self):
+        # Full participation: round 1 ships every decoder, round 2 none.
+        config = FederationConfig.tiny(rounds=1, clients_per_round=6)
+        with ProcessPoolBackend(max_workers=2) as backend:
+            server = build_federation(
+                config, FedGuard(), no_attack(), backend=backend
+            )
+            server.run_round(1)
+            after_first = backend.ipc_stats.bytes_received
+            server.run_round(2)
+            second_round = backend.ipc_stats.bytes_received - after_first
+            assert len(backend._decoder_store) == 6
+        # Round 2 re-samples only trained clients: their decoders replay
+        # from the main-process store instead of recrossing the pipe, so
+        # the round sheds the decoder share of the payload entirely.
+        assert second_round < after_first * 0.6
+
+    def test_wire_cache_drops_upload_bytes_keeps_results(self):
+        """decoder_cache=True must shrink upload_nbytes after round 1 and
+        change nothing else."""
+        config = FederationConfig.tiny(rounds=3)
+        plain = build_federation(
+            config, FedGuard(), no_attack(), channel=InMemoryChannel()
+        ).run()
+        cached = build_federation(
+            config, FedGuard(), no_attack(),
+            channel=InMemoryChannel(decoder_cache=True),
+        ).run()
+        np.testing.assert_array_equal(plain.accuracies, cached.accuracies)
+        r1, r2 = plain.rounds, cached.rounds
+        assert r1[0].upload_nbytes == r2[0].upload_nbytes  # cache still cold
+        for a, b in zip(r1[1:], r2[1:]):
+            assert b.upload_nbytes < a.upload_nbytes
+            assert b.metrics["decoder_cache_hits"] > 0
+            assert b.metrics["decoder_cache_saved_nbytes"] > 0
+        # Cache metrics never leak into default-off runs (golden safety).
+        assert "decoder_cache_hits" not in r1[0].metrics
+
+
+class TestMakeBackend:
+    def test_config_selects_backend(self):
+        assert isinstance(
+            make_backend(FederationConfig.tiny()), SequentialBackend
+        )
+        backend = make_backend(FederationConfig.tiny(backend="process",
+                                                     backend_workers=2))
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 2
+        backend = make_backend(FederationConfig.tiny(backend="process_legacy"))
+        assert isinstance(backend, LegacyProcessPoolBackend)
+
+    def test_unknown_backend_rejected_by_config(self):
+        with pytest.raises(ValueError, match="backend"):
+            FederationConfig.tiny(backend="threads")
+
+    def test_recipe_roundtrips_through_pickle(self):
+        import pickle
+
+        config = FederationConfig.tiny()
+        server = build_federation(config, FedAvg(), no_attack())
+        recipe = server.clients[0].make_recipe()
+        clone = pickle.loads(pickle.dumps(recipe)).build()
+        assert isinstance(clone, type(server.clients[0]))
+        np.testing.assert_array_equal(
+            clone.dataset.labels, server.clients[0].dataset.labels
+        )
+
+    def test_recipe_type_importable(self):
+        assert ClientRecipe.__name__ == "ClientRecipe"
