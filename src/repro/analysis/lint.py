@@ -30,6 +30,12 @@ RG006     Hand-rolled wire-byte arithmetic (``... * WIRE_BYTES_PER_PARAM``)
           between call sites. Use ``transport.payload_nbytes`` /
           ``broadcast_nbytes`` / ``update_nbytes`` (or
           ``nn.serialization.vector_nbytes`` at the definition site).
+RG007     Wall-clock reads (``time.time()``, ``datetime.now()``, ...)
+          inside :mod:`repro.fl` round logic. Every round-level decision
+          (drops, retries, straggler deadlines, backoff) must derive from
+          *simulated* time and seeded RNG streams, or fault replay stops
+          being deterministic. ``time.perf_counter``/``monotonic`` stay
+          allowed — they only *measure* durations, they never decide.
 ========  =============================================================
 
 Any finding can be suppressed per line with ``# noqa: RGxxx`` (or a bare
@@ -68,6 +74,7 @@ RULE_DESCRIPTIONS = {
     "RG004": "defense/attack class missing from module __all__ or package registry",
     "RG005": "narrow float dtype (float32/float16) in nn/ hot path",
     "RG006": "wire-byte arithmetic outside repro.fl.transport",
+    "RG007": "wall-clock read in fl/ round logic; use simulated time / seeded RNG",
 }
 ALL_RULES = frozenset(RULE_DESCRIPTIONS)
 
@@ -551,6 +558,69 @@ def _check_rg006(tree: ast.Module, path: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RG007 — wall-clock reads in fl/ round logic
+# ---------------------------------------------------------------------------
+
+# time.<attr> calls that read the wall clock. perf_counter / monotonic /
+# process_time are measurement-only (they feed duration metrics, never
+# decisions) and stay allowed.
+_WALL_CLOCK_TIME_ATTRS = {
+    "time", "time_ns", "ctime", "localtime", "gmtime", "strftime",
+    "asctime", "mktime",
+}
+# datetime.<attr>() / date.<attr>() constructors that read the wall clock.
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today", "fromtimestamp"}
+
+
+def _check_rg007(tree: ast.Module, path: str) -> list[Finding]:
+    if "fl" not in pathlib.PurePath(path).parts:
+        return []
+    findings = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(
+            Finding(
+                "RG007",
+                path,
+                node.lineno,
+                node.col_offset,
+                f"wall-clock read `{what}` in fl/ round logic; fault "
+                f"injection and recovery must replay deterministically — "
+                f"derive decisions from simulated latencies and seeded RNG "
+                f"streams (perf_counter/monotonic are fine for measuring)",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "time"
+                and func.attr in _WALL_CLOCK_TIME_ATTRS
+            ):
+                flag(node, f"time.{func.attr}()")
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in ("datetime", "date")
+                and func.attr in _WALL_CLOCK_DATETIME_ATTRS
+            ):
+                flag(node, f"{base.id}.{func.attr}()")
+            elif (
+                isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+                and func.attr in _WALL_CLOCK_DATETIME_ATTRS
+            ):
+                flag(node, f"{base.attr}.{func.attr}()")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                    flag(node, f"from time import {alias.name}")
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -588,6 +658,8 @@ def lint_source(
         findings.extend(_check_rg005(tree, path))
     if "RG006" in active:
         findings.extend(_check_rg006(tree, path))
+    if "RG007" in active:
+        findings.extend(_check_rg007(tree, path))
 
     lines = source.splitlines()
     kept = []

@@ -84,6 +84,21 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                              "'process' = worker-resident pool)")
     parser.add_argument("--workers", type=int, default=None,
                         help="process backend: worker count (default: cpu count)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="re-send attempts after a failed broadcast/submit "
+                             "(default: 0 — a drop is final)")
+    parser.add_argument("--backoff", type=float, default=None,
+                        help="simulated seconds of backoff before retry k: "
+                             "backoff * 2^(k-1)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="straggler deadline on the simulated round-trip "
+                             "link time; late submits count as drops (0 = off)")
+    parser.add_argument("--min-quorum", type=int, default=None,
+                        help="skip the round (holding the global model) when "
+                             "fewer updates arrive (0 = aggregate whatever came)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="checkpoint the full federation every k rounds "
+                             "(0 = off; requires --checkpoint)")
 
 
 def _config_from_args(args) -> FederationConfig:
@@ -114,6 +129,16 @@ def _config_from_args(args) -> FederationConfig:
     if getattr(args, "workers", None) is not None:
         overrides["backend_workers"] = args.workers
         overrides.setdefault("backend", "process")
+    if getattr(args, "retries", None) is not None:
+        overrides["retries"] = args.retries
+    if getattr(args, "backoff", None) is not None:
+        overrides["retry_backoff_s"] = args.backoff
+    if getattr(args, "deadline", None) is not None:
+        overrides["deadline_s"] = args.deadline
+    if getattr(args, "min_quorum", None) is not None:
+        overrides["min_quorum"] = args.min_quorum
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
     base = (
         FederationConfig.tiny
         if getattr(args, "profile", "scaled") == "tiny"
@@ -135,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scenario", required=True, choices=sorted(SCENARIO_FACTORIES))
     run_p.add_argument("--save", type=pathlib.Path, default=None,
                        help="write the history JSON here")
+    run_p.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                       help="federation checkpoint file, written every "
+                            "--checkpoint-every rounds")
+    run_p.add_argument("--resume", type=pathlib.Path, default=None,
+                       help="resume from a federation checkpoint file "
+                            "(strategy/scenario/config come from the "
+                            "checkpoint)")
     run_p.add_argument("--verbose", action="store_true")
     _add_config_args(run_p)
 
@@ -209,7 +241,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         config = _config_from_args(args)
-        history = run_cell(config, args.strategy, args.scenario, verbose=args.verbose)
+        if args.checkpoint is not None and config.checkpoint_every == 0:
+            raise SystemExit("--checkpoint requires --checkpoint-every K (K > 0)")
+        history = run_cell(
+            config, args.strategy, args.scenario, verbose=args.verbose,
+            checkpoint_path=args.checkpoint, resume_from=args.resume,
+        )
         mean, std = history.tail_stats()
         detection = history.detection_summary()
         print(f"accuracies: {[round(a, 3) for a in history.accuracies]}")

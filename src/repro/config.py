@@ -117,6 +117,14 @@ class FederationConfig:
     backend: str = "sequential"         # "sequential" | "process" | "process_legacy"
     backend_workers: int = 0            # worker processes (0 = cpu count)
 
+    # round-level recovery (repro.fl.faults / server phases; every knob
+    # defaults OFF so lossless runs stay byte-identical to the seed loop)
+    retries: int = 0                    # re-send attempts after a failed broadcast/submit
+    retry_backoff_s: float = 0.0        # simulated backoff before attempt k: b·2^(k-1)
+    deadline_s: float = 0.0             # straggler deadline on simulated link time (0 = off)
+    min_quorum: int = 0                 # skip the round below this many delivered updates
+    checkpoint_every: int = 0           # checkpoint the federation every k rounds (0 = off)
+
     # models
     model: ModelConfig = field(default_factory=ModelConfig)
 
@@ -152,6 +160,17 @@ class FederationConfig:
         if self.backend_workers < 0:
             raise ValueError(
                 f"backend_workers must be >= 0, got {self.backend_workers}"
+            )
+        for name in ("retries", "checkpoint_every"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("retry_backoff_s", "deadline_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if not 0 <= self.min_quorum <= self.clients_per_round:
+            raise ValueError(
+                f"min_quorum must be in [0, clients_per_round="
+                f"{self.clients_per_round}], got {self.min_quorum}"
             )
 
     @property

@@ -29,13 +29,22 @@ def run_cell(
     strategy_name: str,
     scenario_name: str,
     verbose: bool = False,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> History:
-    """Run a single (strategy, scenario) experiment."""
+    """Run a single (strategy, scenario) experiment.
+
+    ``checkpoint_path``/``resume_from`` forward to
+    :func:`~repro.fl.simulation.run_federation` for periodic federation
+    checkpoints and crash recovery.
+    """
     return run_federation(
         config,
         make_strategy(strategy_name),
         make_scenario(scenario_name),
         verbose=verbose,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
     )
 
 

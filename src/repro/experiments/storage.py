@@ -4,17 +4,26 @@ Long experiment matrices are expensive; persisting each cell's
 :class:`~repro.fl.history.History` lets the CLI and notebooks regenerate
 tables/figures without re-running federations, and makes results diffable
 artifacts in version control.
+
+Federation *checkpoints* (:func:`save_checkpoint` / :func:`load_checkpoint`)
+are a separate, pickle-based format: unlike histories they carry live
+objects (strategies, channels, RNG states) and exist to resume an
+interrupted run bit-identically, not to be diffed. See
+``docs/robustness.md`` for the format contract.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import pickle
 
 from ..fl.history import History, RoundRecord
 
 __all__ = ["history_to_dict", "history_from_dict", "save_history", "load_history",
-           "save_matrix", "load_matrix", "save_manifest", "load_manifest"]
+           "save_matrix", "load_matrix", "save_manifest", "load_manifest",
+           "save_checkpoint", "load_checkpoint"]
 
 FORMAT_VERSION = 1
 
@@ -130,6 +139,39 @@ def load_manifest(directory: str | pathlib.Path):
         return None
     data = json.loads(path.read_text())
     return FederationConfig.from_dict(data["config"])
+
+
+def save_checkpoint(state: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Atomically persist a federation checkpoint payload.
+
+    ``state`` is the dict built by
+    :func:`repro.fl.simulation.federation_state`. The write goes to a
+    sibling temp file first and is moved into place with ``os.replace``,
+    so a crash mid-write never corrupts the previous checkpoint.
+    """
+    if state.get("format") != "repro-federation-checkpoint":
+        raise ValueError("not a federation checkpoint payload")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str | pathlib.Path) -> dict:
+    """Read a checkpoint payload written by :func:`save_checkpoint`.
+
+    Only the envelope is validated here (it must be a federation
+    checkpoint); version compatibility is checked by
+    :func:`repro.fl.simulation.restore_federation`, which owns the schema.
+    """
+    with open(path, "rb") as fh:
+        state = pickle.load(fh)
+    if not isinstance(state, dict) or state.get("format") != "repro-federation-checkpoint":
+        raise ValueError(f"{path} is not a federation checkpoint")
+    return state
 
 
 def load_matrix(directory: str | pathlib.Path) -> dict:

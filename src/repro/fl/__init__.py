@@ -1,6 +1,13 @@
 """Federated-learning simulation layer (the paper's Algorithm 1 substrate)."""
 
 from .client import ClientRecipe, FLClient, train_classifier, train_cvae
+from .faults import (
+    FaultPlan,
+    FaultyChannel,
+    LinkFault,
+    WorkerCrash,
+    inject_worker_crashes,
+)
 from .history import History, RoundRecord
 from .parallel import (
     ExecutionBackend,
@@ -12,7 +19,13 @@ from .parallel import (
 )
 from .sampling import ClientSampler, ReputationSampler, UniformSampler
 from .server import RoundContext, Server
-from .simulation import build_federation, regenerate_train_pool, run_federation
+from .simulation import (
+    build_federation,
+    federation_state,
+    regenerate_train_pool,
+    restore_federation,
+    run_federation,
+)
 from .strategy import AggregationResult, ServerContext, Strategy, weighted_average
 from .transport import (
     BroadcastMessage,
@@ -43,6 +56,13 @@ __all__ = [
     "build_federation",
     "run_federation",
     "regenerate_train_pool",
+    "federation_state",
+    "restore_federation",
+    "FaultPlan",
+    "FaultyChannel",
+    "LinkFault",
+    "WorkerCrash",
+    "inject_worker_crashes",
     "ExecutionBackend",
     "SequentialBackend",
     "ProcessPoolBackend",

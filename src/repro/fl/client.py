@@ -251,6 +251,43 @@ class FLClient:
             client_id=self.client_id, config=self.config, snapshot=self
         )
 
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything that evolves after construction, for checkpoint/resume.
+
+        The static dataset, the model shell, and the attack object are
+        *not* included: construction replays them deterministically from
+        the federation seed (data-poisoning included), the shell's weights
+        are overwritten from the incoming broadcast every fit, and local
+        optimizers are rebuilt per fit. Only with an active stream does the
+        dataset diverge from its construction-time state, so it (and the
+        stream position) ship exactly then.
+        """
+        streaming = self.stream is not None
+        return {
+            "rng_state": self.rng.bit_generator.state,
+            "rounds_fit": self._rounds_fit,
+            "decoder_vector": (
+                None if self._decoder_vector is None
+                else np.array(self._decoder_vector)
+            ),
+            "decoder_version": self._decoder_version,
+            "cvae_loss": self.cvae_loss,
+            "stream": self.stream if streaming else None,
+            "dataset": self.dataset if streaming else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` on a freshly constructed client."""
+        self.rng.bit_generator.state = state["rng_state"]
+        self._rounds_fit = state["rounds_fit"]
+        self._decoder_vector = state["decoder_vector"]
+        self._decoder_version = state["decoder_version"]
+        self.cvae_loss = state["cvae_loss"]
+        if state["stream"] is not None:
+            self.stream = state["stream"]
+            self.dataset = state["dataset"]
+
     @property
     def is_malicious(self) -> bool:
         return self.attack is not None

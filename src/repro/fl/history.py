@@ -109,16 +109,38 @@ class History:
         }
 
     # -- transport quality ------------------------------------------------------
+    @staticmethod
+    def _n_selected(record: RoundRecord) -> int:
+        """Participants selected in a round, robust to legacy records.
+
+        Live records always carry ``selected_ids``. Persisted pre-transport
+        records don't — and for a round where *every* broadcast dropped,
+        ``selected_ids`` defaults to a copy of the (empty) ``sampled_ids``,
+        which used to make the round's selections vanish from the summary
+        (overstating the delivery rate). The selection count is then
+        reconstructed from the drop counters: everyone selected either
+        delivered or was dropped on one of the two directions.
+        """
+        if record.selected_ids:
+            return len(record.selected_ids)
+        return (
+            len(record.sampled_ids)
+            + record.broadcasts_dropped
+            + record.submits_dropped
+        )
+
     def delivery_summary(self) -> dict:
         """Aggregate transport reliability across rounds.
 
         ``delivery_rate`` is delivered updates over selected participants —
-        1.0 on a lossless channel. ``empty_rounds`` counts rounds where no
-        update arrived at all (the global model idles through those).
+        1.0 on a lossless channel. ``empty_rounds`` counts rounds where
+        clients were selected but no update arrived (the global model idles
+        through those); ``idle_rounds`` counts rounds where nothing was
+        selected in the first place, which is not a transport failure.
         """
         if not self.rounds:
             raise ValueError("history is empty")
-        selected = sum(len(r.selected_ids) for r in self.rounds)
+        selected = sum(self._n_selected(r) for r in self.rounds)
         delivered = sum(r.delivered_updates for r in self.rounds)
         return {
             "selected": selected,
@@ -126,7 +148,14 @@ class History:
             "delivery_rate": delivered / selected if selected else float("nan"),
             "broadcasts_dropped": sum(r.broadcasts_dropped for r in self.rounds),
             "submits_dropped": sum(r.submits_dropped for r in self.rounds),
-            "empty_rounds": sum(1 for r in self.rounds if not r.sampled_ids),
+            "empty_rounds": sum(
+                1
+                for r in self.rounds
+                if self._n_selected(r) and not r.sampled_ids
+            ),
+            "idle_rounds": sum(
+                1 for r in self.rounds if not self._n_selected(r)
+            ),
         }
 
     # -- Table V statistics ---------------------------------------------------

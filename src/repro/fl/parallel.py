@@ -58,6 +58,7 @@ import pickle
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -170,6 +171,16 @@ class ExecutionBackend:
         """Return (updates, per-client wall times), in client order."""
         raise NotImplementedError
 
+    def client_states(self, client_ids: list[int]) -> dict[int, dict] | None:
+        """Authoritative per-client checkpoint state held by this backend.
+
+        Returns ``None`` when the main-process ``FLClient`` objects *are*
+        the authoritative state (sequential and legacy backends — the
+        latter writes worker state back every round). The resident pool
+        overrides this to harvest state from its workers.
+        """
+        return None
+
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
 
@@ -271,6 +282,9 @@ def _resident_worker_main(conn) -> None:
     * ``("round", round_idx, include_decoder, [client_id, ...],
       weights_ref)`` — fit the listed resident clients in order; replies
       ``("ok", [packed_update, ...])`` or ``("error", traceback)``.
+    * ``("harvest", [client_id, ...])`` — read-only snapshot of the listed
+      clients' checkpoint state (federation checkpointing); replies
+      ``("ok", {client_id: state_dict})`` or ``("error", traceback)``.
     * ``("close",)`` — exit.
     """
     clients: dict[int, FLClient] = {}
@@ -291,6 +305,15 @@ def _resident_worker_main(conn) -> None:
                     clients[recipe.client_id] = recipe.build()
             except Exception:  # noqa: BLE001 - forwarded to the main process
                 pending_error = traceback.format_exc()
+            continue
+        if kind == "harvest":
+            try:
+                if pending_error is not None:
+                    raise RuntimeError(f"client install failed:\n{pending_error}")
+                reply = ("ok", {cid: clients[cid].state_dict() for cid in message[1]})
+            except Exception:  # noqa: BLE001 - forwarded to the main process
+                reply = ("error", traceback.format_exc())
+            conn.send_bytes(pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
             continue
         # kind == "round"
         try:
@@ -365,10 +388,13 @@ class ProcessPoolBackend(ExecutionBackend):
         super().__init__()
         self.max_workers = max_workers
         self._workers: list[_WorkerHandle] | None = None
+        self._mp_ctx = None
         self._resident_ids: set[int] = set()
         # client_id -> (decoder_version, θ_j): replay store for updates
         # whose decoder stayed worker-side (already shipped earlier).
         self._decoder_store: dict[int, tuple[int, np.ndarray]] = {}
+        # Dead workers replaced so far (fault injection / crash recovery).
+        self.respawns = 0
 
     # -- pool management -----------------------------------------------------
     def _ensure_workers(self) -> list[_WorkerHandle]:
@@ -377,13 +403,59 @@ class ProcessPoolBackend(ExecutionBackend):
             methods = multiprocessing.get_all_start_methods()
             # fork shares the main process's regenerated-pool cache and
             # resource tracker; fall back to the platform default elsewhere.
-            ctx = multiprocessing.get_context(
+            self._mp_ctx = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
             )
             self._workers = [
-                _WorkerHandle(ctx, i, self.ipc_stats) for i in range(n)
+                _WorkerHandle(self._mp_ctx, i, self.ipc_stats) for i in range(n)
             ]
         return self._workers
+
+    # -- crash injection and recovery ---------------------------------------
+    def inject_worker_crash(self, worker_idx: int) -> bool:
+        """Kill one worker process (fault injection). Returns True if killed.
+
+        The next ``fit_clients`` call notices the dead worker, respawns
+        it, and re-installs the recipes of every client placed on it —
+        the recovery path a real preempted node would exercise.
+        """
+        workers = self._ensure_workers()
+        handle = workers[worker_idx % len(workers)]
+        if not handle.process.is_alive():
+            return False
+        handle.process.kill()
+        handle.process.join(timeout=5)
+        return True
+
+    def _respawn_worker(self, worker_idx: int) -> None:
+        """Replace a dead worker and forget its resident clients.
+
+        Dropping the ids from ``_resident_ids`` makes the next dispatch
+        re-ship their recipes (PR 3's install path); rebuilt clients are
+        deterministic functions of their recipes, so a crashed-and-replayed
+        federation is reproducible run-to-run.
+        """
+        workers = self._workers
+        old = workers[worker_idx]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        old.process.join(timeout=5)
+        if old.process.is_alive():  # pragma: no cover - defensive
+            old.process.terminate()
+            old.process.join(timeout=5)
+        workers[worker_idx] = _WorkerHandle(self._mp_ctx, worker_idx, self.ipc_stats)
+        n = len(workers)
+        self._resident_ids = {
+            cid for cid in self._resident_ids if cid % n != worker_idx
+        }
+        self.respawns += 1
+
+    def _reap_dead_workers(self) -> None:
+        for worker_idx, handle in enumerate(self._workers):
+            if not handle.process.is_alive():
+                self._respawn_worker(worker_idx)
 
     def _publish_weights(self, weights: np.ndarray):
         """Publish ψ* once for the whole round; returns (ref, segment)."""
@@ -395,9 +467,63 @@ class ProcessPoolBackend(ExecutionBackend):
         return ("shm", segment.name, weights.shape, str(weights.dtype)), segment
 
     # -- the round -----------------------------------------------------------
+    def _dispatch_round(self, worker_idx: int, group: list[FLClient],
+                        round_idx: int, include_decoder: bool, ref) -> None:
+        """Install fresh recipes + send the round message to one worker.
+
+        A broken pipe (the worker died between the liveness sweep and this
+        send) triggers one respawn-and-replay: the respawn purges the
+        worker's ids from ``_resident_ids``, so the retry re-installs
+        everything the dead worker held. ``_resident_ids`` is only updated
+        *after* a successful send — a failed install never strands ids.
+        """
+        workers = self._workers
+        for final in (False, True):
+            fresh = [
+                client.make_recipe()
+                for client in group
+                if client.client_id not in self._resident_ids
+            ]
+            try:
+                if fresh:
+                    workers[worker_idx].send(("install", fresh))
+                workers[worker_idx].send(
+                    ("round", round_idx, include_decoder,
+                     [client.client_id for client in group], ref)
+                )
+                self._resident_ids.update(recipe.client_id for recipe in fresh)
+                return
+            except (BrokenPipeError, OSError):
+                if final:
+                    raise
+                self._respawn_worker(worker_idx)
+
+    def _collect_round(self, worker_idx: int, group: list[FLClient],
+                       round_idx: int, include_decoder: bool, ref) -> list[dict]:
+        """Receive one worker's round reply, surviving a mid-round crash.
+
+        If the worker died after dispatch (crash injection mid-fit), it is
+        respawned, its clients re-installed from recipes, and the round
+        replayed once. Replay is deterministic: rebuilt clients restart
+        from their recipe state, exactly as an uninterrupted install would.
+        """
+        workers = self._workers
+        try:
+            status, payload = workers[worker_idx].recv()
+        except (EOFError, OSError):
+            self._respawn_worker(worker_idx)
+            self._dispatch_round(worker_idx, group, round_idx, include_decoder, ref)
+            status, payload = workers[worker_idx].recv()
+        if status == "error":
+            raise RuntimeError(f"resident worker failed:\n{payload}")
+        return payload
+
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
         _reject_runtime_collusion(clients)
         workers = self._ensure_workers()
+        # Replace workers that died since last round (crash injection);
+        # their clients are re-installed from recipes below.
+        self._reap_dead_workers()
 
         # Sticky placement: client_id mod workers, stable for the whole
         # federation, so resident state (CVAE, stream, RNG) never moves.
@@ -405,30 +531,18 @@ class ProcessPoolBackend(ExecutionBackend):
         for client in clients:
             by_worker.setdefault(client.client_id % len(workers), []).append(client)
 
-        # First contact only: ship construction recipes.
-        for worker_idx, group in by_worker.items():
-            fresh = [
-                client.make_recipe()
-                for client in group
-                if client.client_id not in self._resident_ids
-            ]
-            if fresh:
-                workers[worker_idx].send(("install", fresh))
-                self._resident_ids.update(recipe.client_id for recipe in fresh)
-
         weights = np.ascontiguousarray(global_weights, dtype=np.float64)
         ref, segment = self._publish_weights(weights)
         packed_by_id: dict[int, dict] = {}
         try:
             for worker_idx, group in by_worker.items():
-                workers[worker_idx].send(
-                    ("round", round_idx, include_decoder,
-                     [client.client_id for client in group], ref)
+                self._dispatch_round(
+                    worker_idx, group, round_idx, include_decoder, ref
                 )
-            for worker_idx in by_worker:
-                status, payload = workers[worker_idx].recv()
-                if status == "error":
-                    raise RuntimeError(f"resident worker failed:\n{payload}")
+            for worker_idx, group in by_worker.items():
+                payload = self._collect_round(
+                    worker_idx, group, round_idx, include_decoder, ref
+                )
                 for packed in payload:
                     packed_by_id[packed["client_id"]] = packed
         finally:
@@ -473,6 +587,31 @@ class ProcessPoolBackend(ExecutionBackend):
             train_loss=packed["train_loss"],
             malicious=packed["malicious"],
         )
+
+    def client_states(self, client_ids: list[int]) -> dict[int, dict] | None:
+        """Harvest authoritative checkpoint state from the workers.
+
+        Only resident clients appear in the result — ids never fitted on
+        this backend are absent, and the caller falls back to the
+        main-process shell (which *is* authoritative for them).
+        """
+        if self._workers is None:
+            return {}
+        self._reap_dead_workers()
+        n = len(self._workers)
+        by_worker: dict[int, list[int]] = {}
+        for cid in client_ids:
+            if cid in self._resident_ids:
+                by_worker.setdefault(cid % n, []).append(cid)
+        for worker_idx, ids in by_worker.items():
+            self._workers[worker_idx].send(("harvest", ids))
+        harvested: dict[int, dict] = {}
+        for worker_idx in by_worker:
+            status, payload = self._workers[worker_idx].recv()
+            if status == "error":
+                raise RuntimeError(f"resident worker harvest failed:\n{payload}")
+            harvested.update(payload)
+        return harvested
 
     def close(self) -> None:
         if self._workers is not None:
@@ -531,11 +670,32 @@ class LegacyProcessPoolBackend(ExecutionBackend):
         self.max_workers = max_workers
         self.measure_ipc = measure_ipc
         self._pool: ProcessPoolExecutor | None = None
+        # Broken pools replaced so far (fault injection / crash recovery).
+        self.respawns = 0
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
+
+    def inject_worker_crash(self, worker_idx: int) -> bool:
+        """Kill one executor worker (fault injection). Returns True if killed.
+
+        The executor marks itself broken on the next batch; ``fit_clients``
+        recovers by rebuilding the pool and replaying the round. Workers
+        spawn lazily, so an idle pool is primed with a no-op first.
+        """
+        pool = self._ensure_pool()
+        procs = list(getattr(pool, "_processes", {}).values())
+        if not procs:
+            pool.submit(int).result()
+            procs = list(getattr(pool, "_processes", {}).values())
+        if not procs:  # pragma: no cover - defensive
+            return False
+        victim = procs[worker_idx % len(procs)]
+        victim.kill()
+        victim.join()
+        return True
 
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
         _reject_runtime_collusion(clients)
@@ -546,8 +706,18 @@ class LegacyProcessPoolBackend(ExecutionBackend):
                 self.ipc_stats.bytes_sent += len(
                     pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
                 )
+        # Materialize every result before any write-back: if the pool died
+        # mid-batch, the whole round is replayed on a fresh pool from the
+        # clients' untouched pre-round state — no double RNG advancement.
+        try:
+            results = list(pool.map(_fit_worker, payloads))
+        except BrokenProcessPool:
+            self.close()
+            self.respawns += 1
+            pool = self._ensure_pool()
+            results = list(pool.map(_fit_worker, payloads))
         updates, times = [], []
-        for client, result in zip(clients, pool.map(_fit_worker, payloads)):
+        for client, result in zip(clients, results):
             if self.measure_ipc:
                 self.ipc_stats.bytes_received += len(
                     pickle.dumps(result, protocol=_PICKLE_PROTOCOL)

@@ -59,6 +59,11 @@ class RoundContext:
     incoming_global: np.ndarray | None = None
     accuracy: float = float("nan")
     extra_metrics: dict = field(default_factory=dict)
+    # Recovery bookkeeping (all zero/False when the knobs are off, so the
+    # record stays byte-identical to a knob-free run).
+    retry_wait_s: float = 0.0       # simulated backoff time spent on retries
+    stragglers_dropped: int = 0     # delivered submits past the deadline
+    quorum_failed: bool = False     # round skipped below min_quorum
 
 
 class Server:
@@ -79,6 +84,7 @@ class Server:
         context: ServerContext,
         rng: np.random.Generator,
         scenario_name: str = "no_attack",
+        scenario=None,
         initial_weights: np.ndarray | None = None,
         flip_pairs: tuple[tuple[int, int], ...] | None = None,
         backend=None,
@@ -94,6 +100,11 @@ class Server:
         self.test_dataset = test_dataset
         self.context = context
         self.rng = rng
+        # The scenario object (when provided) travels into federation
+        # checkpoints so a resume can rebuild clients with their attacks.
+        self.scenario = scenario
+        if scenario is not None and scenario_name == "no_attack":
+            scenario_name = scenario.name
         self.scenario_name = scenario_name
         # When the scenario is a targeted label-flip, per-round records
         # also carry the attack success rate on the flipped pairs.
@@ -168,12 +179,18 @@ class Server:
         """Choose this round's m participants (Alg. 1, line 17)."""
         ctx.participants = self.sample_clients()
 
+    def _backoff_s(self, attempt: int) -> float:
+        """Simulated wait before retry ``attempt`` (1-based): b·2^(attempt-1)."""
+        return self.config.retry_backoff_s * (2 ** (attempt - 1))
+
     def phase_broadcast(self, ctx: RoundContext) -> None:
         """Send ψ* to every participant through the channel.
 
         A participant whose broadcast is dropped never hears from the
         server this round — it neither trains nor submits (dropout before
-        training).
+        training). With ``config.retries > 0`` the server re-sends only
+        the failed broadcasts, up to ``retries`` extra attempts, adding a
+        deterministic exponential backoff to the round's simulated clock.
         """
         include_decoder = self.strategy.needs_decoder
         ctx.broadcasts = [
@@ -185,16 +202,69 @@ class Server:
             )
             for client in ctx.participants
         ]
-        ctx.delivered_broadcasts = self.channel.broadcast(ctx.broadcasts)
+        ctx.delivered_broadcasts = self._deliver_with_retries(
+            ctx, ctx.broadcasts, self.channel.broadcast
+        )
+
+    def _deliver_with_retries(self, ctx: RoundContext, messages, send):
+        """Run the channel's send loop with bounded, backoff-priced retries.
+
+        With ``retries == 0`` this is exactly one ``send(messages)`` call —
+        the pre-recovery code path, bit-identical stats included.
+        """
+        delivered: dict[int, object] = {}
+        pending = list(messages)
+        for attempt in range(self.config.retries + 1):
+            if not pending:
+                break
+            if attempt:
+                ctx.retry_wait_s += self._backoff_s(attempt)
+            for out in send(pending):
+                delivered[out.client_id] = out
+            pending = [m for m in pending if m.client_id not in delivered]
+        # Original send order, which equals participants order.
+        return [delivered[m.client_id] for m in messages if m.client_id in delivered]
 
     def phase_fit(self, ctx: RoundContext) -> None:
-        """Run local training for every client that received the broadcast."""
+        """Run local training for every client that received the broadcast.
+
+        When the channel carries a :class:`~repro.fl.faults.FaultPlan`,
+        its scheduled worker crashes for this round fire *before* any fit
+        is dispatched — the backend discovers the dead workers, respawns
+        them, and re-installs the affected client recipes.
+        """
+        fault_plan = getattr(self.channel, "fault_plan", None)
+        if fault_plan is not None:
+            from .faults import inject_worker_crashes
+
+            inject_worker_crashes(fault_plan, self.backend, ctx.round_idx)
         clients_by_id = {c.client_id: c for c in ctx.participants}
         ctx.submits = self.backend.execute(ctx.delivered_broadcasts, clients_by_id)
 
     def phase_collect(self, ctx: RoundContext) -> None:
-        """Receive the submissions the channel delivers back."""
-        ctx.delivered_submits = self.channel.collect(ctx.submits)
+        """Receive the submissions the channel delivers back.
+
+        Retries mirror the broadcast direction. A ``config.deadline_s``
+        then drops delivered submits whose *simulated* link time (download
+        latency + upload latency + retry backoff) exceeded the deadline —
+        stragglers, counted separately from transport drops. The deadline
+        deliberately ignores wall-clock fit time (``client_time_s``):
+        round outcomes must be a pure function of the seed (RG007).
+        """
+        ctx.delivered_submits = self._deliver_with_retries(
+            ctx, ctx.submits, self.channel.collect
+        )
+        deadline = self.config.deadline_s
+        if deadline > 0.0:
+            down = {m.client_id: m.latency_s for m in ctx.delivered_broadcasts}
+            on_time = []
+            for sub in ctx.delivered_submits:
+                link_time = down.get(sub.client_id, 0.0) + sub.latency_s
+                if link_time + ctx.retry_wait_s > deadline:
+                    ctx.stragglers_dropped += 1
+                else:
+                    on_time.append(sub)
+            ctx.delivered_submits = on_time
         ctx.updates = [s.update for s in ctx.delivered_submits]
 
     def phase_aggregate(self, ctx: RoundContext) -> None:
@@ -202,19 +272,32 @@ class Server:
 
         A round with zero delivered updates skips the strategy entirely
         and keeps the global model — real servers idle through an empty
-        collection window rather than crash.
+        collection window rather than crash. With ``config.min_quorum``
+        set, a round whose delivered pool is smaller than the quorum is
+        skipped the same way (graceful degradation: holding last round's
+        model beats aggregating over a pool too thin for the defense's
+        statistics to mean anything).
         """
         t0 = time.perf_counter()
-        if ctx.updates:
+        min_quorum = self.config.min_quorum
+        if ctx.updates and len(ctx.updates) >= min_quorum:
             ctx.result = self.strategy.aggregate(
                 ctx.round_idx, ctx.updates, self.global_weights, self.context
             )
         else:
+            metrics: dict = {}
+            if not ctx.updates:
+                metrics["empty_round"] = 1
+            if min_quorum and len(ctx.updates) < min_quorum:
+                ctx.quorum_failed = True
+                metrics["quorum_failed"] = 1
+                metrics["quorum_delivered"] = len(ctx.updates)
+                metrics["quorum_required"] = min_quorum
             ctx.result = AggregationResult(
                 weights=self.global_weights.copy(),
                 accepted_ids=[],
                 rejected_ids=[],
-                metrics={"empty_round": 1},
+                metrics=metrics,
             )
         ctx.aggregation_time_s = time.perf_counter() - t0
 
@@ -281,7 +364,21 @@ class Server:
             down_latency.get(s.client_id, 0.0) + s.client_time_s + s.latency_s
             for s in ctx.delivered_submits
         ]
-        duration_s = (max(per_client_s) if per_client_s else 0.0) + ctx.aggregation_time_s
+        # Retry backoff is simulated time the whole round waited through;
+        # zero whenever the retry knobs are off.
+        duration_s = (
+            (max(per_client_s) if per_client_s else 0.0)
+            + ctx.aggregation_time_s
+            + ctx.retry_wait_s
+        )
+
+        # Recovery metrics appear only when their knobs are on, keeping
+        # default-config records byte-identical (golden histories).
+        recovery_metrics: dict = {}
+        if self.config.retries > 0:
+            recovery_metrics["retry_wait_s"] = ctx.retry_wait_s
+        if self.config.deadline_s > 0.0:
+            recovery_metrics["stragglers_dropped"] = ctx.stragglers_dropped
 
         # Decoder-cache metrics appear only when the wire cache is on:
         # default-off runs keep byte-identical records (golden histories).
@@ -311,6 +408,7 @@ class Server:
                 "aggregation_time_s": ctx.aggregation_time_s,
                 "transport_latency_max_s": stats.max_latency_s,
                 **cache_metrics,
+                **recovery_metrics,
                 **ctx.extra_metrics,
                 **ctx.result.metrics,
             },
@@ -319,11 +417,33 @@ class Server:
             submits_dropped=stats.submits_dropped,
         )
 
-    def run(self, rounds: int | None = None, verbose: bool = False) -> History:
-        """Run the configured number of rounds; returns the full history."""
+    def run(
+        self,
+        rounds: int | None = None,
+        verbose: bool = False,
+        history: History | None = None,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+    ) -> History:
+        """Run the configured number of rounds; returns the full history.
+
+        Passing a partially filled ``history`` (e.g. from a restored
+        checkpoint) continues from the round after its last record.
+        With ``checkpoint_path`` set, the full federation state is
+        checkpointed every ``checkpoint_every`` rounds (default:
+        ``config.checkpoint_every``; 0 disables) — atomically, so a crash
+        mid-write never corrupts the previous checkpoint.
+        """
         total = rounds if rounds is not None else self.config.rounds
-        history = History(self.strategy.name, self.scenario_name)
-        for round_idx in range(1, total + 1):
+        if history is None:
+            history = History(self.strategy.name, self.scenario_name)
+        every = (
+            self.config.checkpoint_every
+            if checkpoint_every is None
+            else checkpoint_every
+        )
+        start = (history.rounds[-1].round_idx if history.rounds else 0) + 1
+        for round_idx in range(start, total + 1):
             record = self.run_round(round_idx)
             history.append(record)
             if verbose:
@@ -332,4 +452,13 @@ class Server:
                     f"round {round_idx:3d}: acc={record.accuracy:.4f} "
                     f"rejected={len(record.rejected_ids)}"
                 )
+            if every and checkpoint_path is not None and round_idx % every == 0:
+                self.save_checkpoint(checkpoint_path, history)
         return history
+
+    def save_checkpoint(self, path, history: History) -> None:
+        """Snapshot the full federation state (atomically) to ``path``."""
+        from ..experiments.storage import save_checkpoint
+        from .simulation import federation_state
+
+        save_checkpoint(federation_state(self, history), path)

@@ -26,7 +26,17 @@ from .client import FLClient
 from .server import Server
 from .strategy import ServerContext, Strategy
 
-__all__ = ["build_federation", "run_federation", "regenerate_train_pool"]
+__all__ = [
+    "build_federation",
+    "run_federation",
+    "regenerate_train_pool",
+    "federation_state",
+    "restore_federation",
+]
+
+# Checkpoint payload schema version (see ``federation_state``); bumped on
+# any incompatible change so ``restore_federation`` can refuse clearly.
+CHECKPOINT_VERSION = 1
 
 # Auxiliary-dataset size granted to defenses that assume public data
 # (Spectral). Kept small relative to the training set — the paper's
@@ -205,7 +215,90 @@ def build_federation(
         sampler=sampler,
         channel=channel,
         record_geometry=record_geometry,
+        scenario=scenario,
     )
+
+
+def federation_state(server: Server, history) -> dict:
+    """Snapshot everything needed to resume a federation bit-identically.
+
+    The payload pickles the *objects* that carry evolving state (strategy,
+    scenario, sampler, channel, history) plus explicit state dicts for the
+    server's RNGs, the global model, and every client. Client state is
+    harvested from the execution backend when it is authoritative (the
+    worker-resident pool); otherwise the main-process clients are read
+    directly. The execution backend itself is never pickled — it holds live
+    processes and is rebuilt from the config (or caller override) on
+    restore.
+
+    Known limitation: attack objects that mutate *inside worker processes*
+    (runtime collusion) are not harvested — but process backends reject
+    those scenarios up front, so every checkpointable run is covered.
+    """
+    client_ids = [client.client_id for client in server.clients]
+    harvested = server.backend.client_states(client_ids)
+    client_states: dict[int, dict] = {}
+    for client in server.clients:
+        if harvested is not None and client.client_id in harvested:
+            client_states[client.client_id] = harvested[client.client_id]
+        else:
+            client_states[client.client_id] = client.state_dict()
+    last_round = history.rounds[-1].round_idx if history.rounds else 0
+    return {
+        "format": "repro-federation-checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "round": last_round,
+        "config": server.config.to_dict(),
+        "strategy": server.strategy,
+        "scenario": server.scenario,
+        "sampler": server.sampler,
+        "channel": server.channel,
+        "global_weights": np.array(server.global_weights),
+        "server_rng": server.rng.bit_generator.state,
+        "context_rng": server.context.rng.bit_generator.state,
+        "setup_done": server._setup_done,
+        "clients": client_states,
+        "history": history,
+    }
+
+
+def restore_federation(state: dict, backend=None, sampler=None, channel=None):
+    """Rebuild a federation from :func:`federation_state`; returns (server, history).
+
+    Construction is replayed deterministically from the config seed (data,
+    partitions, malicious designation, model shells), then every piece of
+    evolving state is overwritten from the checkpoint. ``strategy.setup``
+    is *not* re-run when the checkpointed run had already passed it — the
+    strategy object travels in the pickle with its setup products intact.
+
+    The execution backend is rebuilt fresh (pass ``backend`` to override);
+    resumed clients re-ship to workers as snapshots, carrying their
+    restored RNG/CVAE state, so a resumed run reproduces the uninterrupted
+    one bit-identically on any backend.
+    """
+    if state.get("format") != "repro-federation-checkpoint":
+        raise ValueError("not a federation checkpoint payload")
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {state.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    config = FederationConfig.from_dict(state["config"])
+    server = build_federation(
+        config,
+        state["strategy"],
+        scenario=state["scenario"],
+        backend=backend,
+        sampler=sampler if sampler is not None else state["sampler"],
+        channel=channel if channel is not None else state["channel"],
+    )
+    server.global_weights = np.array(state["global_weights"])
+    server.rng.bit_generator.state = state["server_rng"]
+    server.context.rng.bit_generator.state = state["context_rng"]
+    server._setup_done = state["setup_done"]
+    for client in server.clients:
+        client.load_state_dict(state["clients"][client.client_id])
+    return server, state["history"]
 
 
 def run_federation(
@@ -213,7 +306,22 @@ def run_federation(
     strategy: Strategy,
     scenario: AttackScenario | None = None,
     verbose: bool = False,
+    checkpoint_path=None,
+    resume_from=None,
 ):
-    """Build and run a federation; returns its :class:`~repro.fl.history.History`."""
-    server = build_federation(config, strategy, scenario)
-    return server.run(verbose=verbose)
+    """Build and run a federation; returns its :class:`~repro.fl.history.History`.
+
+    ``checkpoint_path`` enables periodic checkpoints every
+    ``config.checkpoint_every`` rounds; ``resume_from`` restores a prior
+    checkpoint file and continues the run to ``config.rounds``.
+    """
+    history = None
+    if resume_from is not None:
+        from ..experiments.storage import load_checkpoint
+
+        server, history = restore_federation(load_checkpoint(resume_from))
+    else:
+        server = build_federation(config, strategy, scenario)
+    return server.run(
+        verbose=verbose, history=history, checkpoint_path=checkpoint_path
+    )

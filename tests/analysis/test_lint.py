@@ -312,6 +312,43 @@ class TestRG006WireByteArithmetic:
                      rules=["RG006"]) == []
 
 
+class TestRG007WallClockInRoundLogic:
+    def test_flags_time_time_in_fl_module(self):
+        source = "import time\nstart = time.time()\n"
+        findings = _lint(source, path="src/repro/fl/server.py", rules=["RG007"])
+        assert _rules(findings) == ["RG007"]
+        assert "simulated" in findings[0].message
+
+    def test_flags_datetime_now(self):
+        source = "import datetime\nstamp = datetime.datetime.now()\n"
+        findings = _lint(source, path="src/repro/fl/faults.py", rules=["RG007"])
+        assert _rules(findings) == ["RG007"]
+
+    def test_flags_from_time_import(self):
+        source = "from time import time\n"
+        findings = _lint(source, path="src/repro/fl/client.py", rules=["RG007"])
+        assert _rules(findings) == ["RG007"]
+
+    def test_allows_perf_counter(self):
+        """Durations (perf_counter/monotonic) are fine — they never feed
+        round decisions, only reporting columns."""
+        source = (
+            "import time\n"
+            "t0 = time.perf_counter()\n"
+            "m = time.monotonic()\n"
+        )
+        assert _lint(source, path="src/repro/fl/server.py", rules=["RG007"]) == []
+
+    def test_wall_clock_allowed_outside_fl(self):
+        source = "import time\nstart = time.time()\n"
+        assert _lint(source, path="src/repro/experiments/runner.py",
+                     rules=["RG007"]) == []
+
+    def test_noqa_suppresses(self):
+        source = "import time\nstart = time.time()  # noqa: RG007\n"
+        assert _lint(source, path="src/repro/fl/server.py", rules=["RG007"]) == []
+
+
 class TestNoqaAndDriver:
     def test_specific_noqa_suppresses(self):
         source = "import numpy as np\nx = np.random.rand(3)  # noqa: RG001\n"

@@ -140,6 +140,7 @@ class TestEmptyRounds:
         assert summary["delivered"] == 0
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("strategy_name", sorted(STRATEGY_FACTORIES))
 @pytest.mark.parametrize("scenario_name", sorted(SCENARIO_FACTORIES))
 def test_every_strategy_survives_lossy_rounds(strategy_name, scenario_name):

@@ -98,3 +98,90 @@ class TestAccuracies:
 
     def test_len(self):
         assert len(history_with([0.5] * 4)) == 4
+
+
+def lossy_record(i, *, selected, delivered, bcast_drops=0, submit_drops=0):
+    delivered_ids = list(range(delivered))
+    return RoundRecord(
+        round_idx=i, accuracy=0.5, sampled_ids=delivered_ids,
+        accepted_ids=delivered_ids, rejected_ids=[],
+        malicious_sampled=0, malicious_accepted=0,
+        upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        selected_ids=list(range(selected)),
+        broadcasts_dropped=bcast_drops, submits_dropped=submit_drops,
+    )
+
+
+class TestDeliverySummary:
+    def test_lossless_rate_is_one(self):
+        summary = history_with([0.5, 0.6]).delivery_summary()
+        assert summary["selected"] == 8
+        assert summary["delivered"] == 8
+        assert summary["delivery_rate"] == 1.0
+        assert summary["empty_rounds"] == 0
+        assert summary["idle_rounds"] == 0
+
+    def test_drops_open_gap(self):
+        h = History("s", "sc")
+        h.append(lossy_record(1, selected=4, delivered=2, submit_drops=2))
+        summary = h.delivery_summary()
+        assert summary["selected"] == 4
+        assert summary["delivered"] == 2
+        assert summary["delivery_rate"] == 0.5
+        assert summary["submits_dropped"] == 2
+
+    def test_fully_dropped_round_counts_its_selections(self):
+        """A legacy record where every broadcast dropped: ``selected_ids``
+        defaulted to a copy of the empty ``sampled_ids``, so the round's
+        selections used to vanish from the denominator (rate overstated).
+        The count is reconstructed from the drop counters instead."""
+        legacy = RoundRecord(
+            round_idx=1, accuracy=0.5, sampled_ids=[],
+            accepted_ids=[], rejected_ids=[],
+            malicious_sampled=0, malicious_accepted=0,
+            upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+            broadcasts_dropped=3, submits_dropped=1,
+        )
+        assert legacy.selected_ids == []  # the legacy ambiguity
+        h = History("s", "sc")
+        h.append(lossy_record(1, selected=4, delivered=4))
+        h.append(legacy)
+        summary = h.delivery_summary()
+        assert summary["selected"] == 8
+        assert summary["delivered"] == 4
+        assert summary["delivery_rate"] == 0.5
+        assert summary["empty_rounds"] == 1
+
+    def test_empty_vs_idle_rounds(self):
+        """empty = selected-but-nothing-arrived (transport failure);
+        idle = nothing selected at all (not a transport failure)."""
+        idle = RoundRecord(
+            round_idx=2, accuracy=0.5, sampled_ids=[],
+            accepted_ids=[], rejected_ids=[],
+            malicious_sampled=0, malicious_accepted=0,
+            upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        )
+        h = History("s", "sc")
+        h.append(lossy_record(1, selected=4, delivered=0, bcast_drops=4))
+        h.append(idle)
+        summary = h.delivery_summary()
+        assert summary["empty_rounds"] == 1
+        assert summary["idle_rounds"] == 1
+        assert summary["selected"] == 4
+
+    def test_all_idle_rate_is_nan(self):
+        h = History("s", "sc")
+        h.append(RoundRecord(
+            round_idx=1, accuracy=0.5, sampled_ids=[],
+            accepted_ids=[], rejected_ids=[],
+            malicious_sampled=0, malicious_accepted=0,
+            upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        ))
+        summary = h.delivery_summary()
+        assert np.isnan(summary["delivery_rate"])
+        assert summary["idle_rounds"] == 1
+        assert summary["empty_rounds"] == 0
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            History("s", "sc").delivery_summary()

@@ -39,6 +39,7 @@ def _strip_clocks(history) -> dict:
     return data
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("strategy_name", sorted(STRATEGY_FACTORIES))
 def test_resident_bit_identical_across_strategies_lossy(strategy_name):
     """Every strategy's history — ids, accuracies, byte counts — must be

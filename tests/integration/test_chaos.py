@@ -1,0 +1,123 @@
+"""Chaos suite: every strategy under the canonical fault plan, twice.
+
+The canonical plan stacks the three failure modes the recovery layer
+handles — 30 % random submit drops, one worker crash mid-federation, and
+a scripted straggler pushed past the deadline — on the worker-resident
+process backend with retries, a straggler deadline, and a quorum floor
+all enabled. Every registered strategy must complete all rounds, respect
+the quorum contract, and replay bit-identically on a second run of the
+same plan and seed.
+
+These runs are minutes of CPU across the registry; the whole module is
+marked ``chaos`` and runs in CI's full-suite job, not the tier-1 gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario
+from repro.config import FederationConfig
+from repro.experiments import STRATEGY_FACTORIES
+from repro.experiments.scenarios import make_strategy
+from repro.fl import FaultPlan, FaultyChannel, ProcessPoolBackend, build_federation
+from repro.fl.transport import InMemoryChannel
+
+pytestmark = pytest.mark.chaos
+
+ROUNDS = 10
+CRASH_ROUND = 4
+STRAGGLER_ID = 2
+MIN_QUORUM = 1
+
+
+def canonical_plan() -> FaultPlan:
+    return (
+        FaultPlan(seed=11)
+        .random_submit_drops(0.3)
+        .crash_worker(0, round_idx=CRASH_ROUND)
+        .delay_submit(10.0, client_id=STRAGGLER_ID)
+    )
+
+
+def run_under_chaos(strategy_name: str):
+    config = FederationConfig.tiny(
+        rounds=ROUNDS,
+        retries=1,
+        retry_backoff_s=0.1,
+        deadline_s=5.0,
+        min_quorum=MIN_QUORUM,
+    )
+    scenario = AttackScenario.sign_flipping(0.5)
+    channel = FaultyChannel(InMemoryChannel(), canonical_plan())
+    with ProcessPoolBackend(max_workers=2) as backend:
+        server = build_federation(
+            config, make_strategy(strategy_name), scenario,
+            backend=backend, channel=channel,
+        )
+        history = server.run()
+        respawns = backend.respawns
+    return history, respawns
+
+
+def _comparable(history):
+    return [
+        (r.round_idx, r.accuracy, tuple(r.sampled_ids), tuple(r.accepted_ids),
+         tuple(r.rejected_ids), r.submits_dropped,
+         r.metrics.get("stragglers_dropped"), r.metrics.get("quorum_failed"))
+        for r in history.rounds
+    ]
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGY_FACTORIES))
+def test_strategy_completes_and_replays_under_canonical_plan(strategy_name):
+    first, respawns_a = run_under_chaos(strategy_name)
+    second, respawns_b = run_under_chaos(strategy_name)
+
+    # Completion: all rounds ran despite drops, the crash, and stragglers.
+    assert len(first.rounds) == ROUNDS
+    assert respawns_a == 1  # the scheduled crash was delivered and recovered
+
+    for record in first.rounds:
+        assert 0.0 <= record.accuracy <= 1.0
+        # The scripted straggler (when selected and delivered) never
+        # reaches aggregation: its simulated link time exceeds the deadline.
+        assert STRAGGLER_ID not in record.sampled_ids
+        # Quorum contract: either the round aggregated a pool at or above
+        # the floor, or it was skipped and recorded as such.
+        if record.metrics.get("quorum_failed"):
+            assert record.accepted_ids == []
+            assert record.metrics["quorum_delivered"] < MIN_QUORUM
+        else:
+            assert len(record.sampled_ids) >= MIN_QUORUM
+        # Selection sanity on the shrunken pool: the strategy decided over
+        # exactly what was delivered, never over phantom clients.
+        decided = set(record.accepted_ids) | set(record.rejected_ids)
+        assert decided <= set(record.sampled_ids)
+
+    # Deterministic replay: same plan + same seed => identical history.
+    assert _comparable(first) == _comparable(second)
+    assert respawns_a == respawns_b
+
+
+def test_chaos_run_differs_from_lossless_baseline():
+    """The plan must actually bite: drops + stragglers show in the record."""
+    history, _ = run_under_chaos("fedavg")
+    total_submit_drops = sum(r.submits_dropped for r in history.rounds)
+    total_stragglers = sum(
+        r.metrics.get("stragglers_dropped", 0) for r in history.rounds
+    )
+    assert total_submit_drops > 0
+    assert total_stragglers > 0
+
+
+def test_fedguard_filters_on_shrunken_pools():
+    """FedGuard's selection stays sane when drops thin the candidate pool."""
+    history, _ = run_under_chaos("fedguard")
+    for record in history.rounds:
+        if record.metrics.get("quorum_failed"):
+            continue
+        # m_a accepted out of the delivered pool, never more than delivered.
+        assert len(record.accepted_ids) <= len(record.sampled_ids)
+        assert len(record.accepted_ids) >= 1
+        # Weights stay finite through partial aggregation.
+        assert np.isfinite(record.accuracy)

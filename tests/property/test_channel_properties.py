@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for transport and recovery determinism.
+
+The recovery layer's replay guarantee rests on two invariants: a channel's
+drop/latency decisions are a pure function of (seed, message sequence),
+and the server's retry/quorum logic is a pure function of what the channel
+delivered. These tests pin both down over randomized message sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import FaultPlan, FaultyChannel
+from repro.fl.transport import (
+    BroadcastMessage,
+    InMemoryChannel,
+    LatencyChannel,
+    LossyChannel,
+    SubmitMessage,
+)
+from repro.fl.updates import ClientUpdate
+
+# A message sequence: per round, which client ids to send (order matters —
+# every send consumes channel RNG in order).
+round_schedules = st.lists(
+    st.lists(st.integers(0, 15), min_size=0, max_size=8),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _broadcast(round_idx, client_id, dim=3):
+    return BroadcastMessage(round_idx=round_idx, client_id=client_id,
+                            weights=np.zeros(dim), include_decoder=False)
+
+
+def _submit(round_idx, client_id, dim=3):
+    return SubmitMessage(
+        round_idx=round_idx,
+        update=ClientUpdate(client_id=client_id, weights=np.zeros(dim),
+                            num_samples=5),
+        client_time_s=0.0,
+    )
+
+
+def _drive(channel, schedule):
+    """Send the schedule through both directions; return the decision trace."""
+    trace = []
+    for round_idx, client_ids in enumerate(schedule, start=1):
+        channel.open_round(round_idx)
+        down = channel.broadcast([_broadcast(round_idx, c) for c in client_ids])
+        up = channel.collect([_submit(round_idx, c) for c in client_ids])
+        trace.append((
+            tuple((m.client_id, round(m.latency_s, 12)) for m in down),
+            tuple((m.update.client_id, round(m.latency_s, 12)) for m in up),
+        ))
+    return trace
+
+
+class TestChannelDeterminism:
+    @given(seed=st.integers(0, 2**31), prob=st.floats(0.0, 1.0),
+           schedule=round_schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_lossy_channel_replays_identically(self, seed, prob, schedule):
+        a = _drive(LossyChannel(prob, seed=seed), schedule)
+        b = _drive(LossyChannel(prob, seed=seed), schedule)
+        assert a == b
+
+    @given(seed=st.integers(0, 2**31), base=st.floats(0.0, 5.0),
+           spread=st.floats(0.0, 2.0), schedule=round_schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_channel_replays_identically(self, seed, base, spread,
+                                                 schedule):
+        a = _drive(LatencyChannel(base_s=base, spread=spread, seed=seed), schedule)
+        b = _drive(LatencyChannel(base_s=base, spread=spread, seed=seed), schedule)
+        assert a == b
+
+    @given(seed=st.integers(0, 2**31), prob=st.floats(0.0, 1.0),
+           schedule=round_schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_faulty_wrapper_replays_identically(self, seed, prob, schedule):
+        def run():
+            plan = FaultPlan(seed=seed).random_submit_drops(prob)
+            return _drive(FaultyChannel(LossyChannel(0.2, seed=seed), plan),
+                          schedule)
+
+        assert run() == run()
+
+    @given(seed=st.integers(0, 2**31), schedule=round_schedules)
+    @settings(max_examples=25, deadline=None)
+    def test_scripted_plan_is_transparent_when_empty(self, seed, schedule):
+        """An empty plan wrapped over a channel changes nothing."""
+        plain = _drive(LossyChannel(0.4, seed=seed), schedule)
+        wrapped = _drive(
+            FaultyChannel(LossyChannel(0.4, seed=seed), FaultPlan()), schedule
+        )
+        assert plain == wrapped
+
+
+class _CountingChannel(InMemoryChannel):
+    """Lossless channel that records how many sends each message needed."""
+
+    def __init__(self, fail_first: set[int]) -> None:
+        super().__init__()
+        self.fail_first = fail_first
+        self.attempts: dict[int, int] = {}
+
+    def _attempt(self, client_id, message):
+        n = self.attempts.get(client_id, 0) + 1
+        self.attempts[client_id] = n
+        if n == 1 and client_id in self.fail_first:
+            return None
+        return message
+
+    def transmit_broadcast(self, message):
+        return message  # broadcasts always deliver in this model
+
+    def transmit_submit(self, message):
+        return self._attempt(message.client_id, message)
+
+
+class TestRetryQuorumInvariants:
+    """Seeded invariants of the server's retry loop, via a Server stub."""
+
+    def _deliver(self, retries, backoff, messages, channel):
+        from types import SimpleNamespace
+
+        from repro.fl.server import RoundContext, Server
+
+        server = object.__new__(Server)
+        server.config = SimpleNamespace(retries=retries,
+                                        retry_backoff_s=backoff)
+        server.channel = channel
+        ctx = RoundContext(round_idx=1)
+        channel.open_round(1)
+        out = Server._deliver_with_retries(server, ctx, messages,
+                                           channel.collect)
+        return out, ctx
+
+    @given(n=st.integers(1, 10),
+           fail=st.sets(st.integers(0, 9), max_size=10),
+           retries=st.integers(0, 3),
+           backoff=st.floats(0.0, 2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_retry_loop_invariants(self, n, fail, retries, backoff):
+        messages = [_submit(1, cid) for cid in range(n)]
+        channel = _CountingChannel(fail_first=fail)
+        delivered, ctx = self._deliver(retries, backoff, messages, channel)
+        delivered_ids = [m.update.client_id for m in delivered]
+
+        # No duplicates, delivered subset preserves original message order.
+        assert len(delivered_ids) == len(set(delivered_ids))
+        assert delivered_ids == [c for c in range(n) if c in set(delivered_ids)]
+        # With at least one retry every first-attempt failure recovers;
+        # with none, exactly the non-failing messages deliver.
+        expected = set(range(n)) if retries >= 1 else set(range(n)) - fail
+        assert set(delivered_ids) == expected
+        # Nothing is re-sent after success: attempts per client <= 2, and
+        # only messages that failed once are ever sent twice.
+        for cid in range(n):
+            cap = 2 if (cid in fail and retries >= 1) else 1
+            assert channel.attempts[cid] <= cap
+        # Backoff is priced iff a retry attempt actually ran.
+        retried = bool(fail & set(range(n))) and retries >= 1
+        if retried and backoff > 0:
+            assert ctx.retry_wait_s == pytest.approx(backoff)
+        if retries == 0:
+            assert ctx.retry_wait_s == 0.0
+
+    @given(n_updates=st.integers(0, 8), quorum=st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_quorum_decision_is_pure_threshold(self, n_updates, quorum):
+        """The aggregate/skip decision is exactly `n >= max(quorum, 1)`."""
+        from types import SimpleNamespace
+
+        from repro.fl.server import RoundContext, Server
+        from repro.fl.strategy import AggregationResult
+
+        aggregated = []
+
+        class Probe:
+            def aggregate(self, round_idx, updates, global_weights, context):
+                aggregated.append(len(updates))
+                return AggregationResult(
+                    weights=global_weights.copy(),
+                    accepted_ids=[u.client_id for u in updates],
+                    rejected_ids=[],
+                )
+
+        server = object.__new__(Server)
+        server.config = SimpleNamespace(min_quorum=quorum)
+        server.strategy = Probe()
+        server.context = None
+        server.global_weights = np.zeros(3)
+        ctx = RoundContext(round_idx=1)
+        ctx.updates = [ClientUpdate(i, np.zeros(3), 5) for i in range(n_updates)]
+        Server.phase_aggregate(server, ctx)
+
+        should_aggregate = n_updates > 0 and n_updates >= quorum
+        assert bool(aggregated) == should_aggregate
+        if not should_aggregate:
+            assert ctx.result.accepted_ids == []
+            np.testing.assert_array_equal(ctx.result.weights, np.zeros(3))
+            if quorum and n_updates < quorum:
+                assert ctx.result.metrics["quorum_failed"] == 1
