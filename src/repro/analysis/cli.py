@@ -1,17 +1,34 @@
 """``python -m repro.analysis`` — run the correctness-tooling passes.
 
-Three passes, all enabled by default:
+Four passes, all enabled by default:
 
-* **lint** — the RG001–RG005 AST rules over ``src/repro`` (or the given
-  paths);
+* **lint** — the RG001–RG007 AST rules over the analyzed paths;
+* **flow** — the whole-program dataflow analyzer (RG101–RG105: RNG
+  provenance, stream aliasing, protocol exhaustiveness, checkpoint
+  completeness, iteration-order determinism);
 * **gradcheck** — finite-difference verification of every public
   layer/activation/loss backward pass;
 * **contracts** — dynamic audit of every registered defense aggregator
   under the no-mutation/shape/dtype contract.
 
-Exit status is non-zero on *any* finding, so the command gates CI merges.
-``--strict`` additionally audits the pre-training defenses (Spectral,
-PDGAN, FedCVAE) with scaled-down budgets.
+The two static passes share one reporting pipeline
+(:mod:`repro.analysis.reporting`): findings are deduplicated, filtered
+through ``# repro: noqa[RGxxx]`` suppressions (unused suppressions come
+back as RG100), then through the committed ``analysis-baseline.json``.
+``--format json|sarif`` emits machine-readable output (static passes
+only); ``--write-baseline`` accepts the current findings as the new
+baseline.
+
+Default targets are the installed ``repro`` package plus the repo's
+``benchmarks/``, ``examples/`` and ``tests/`` trees when run from the
+repo root. RG005 (narrow dtypes) and RG006 (wire-byte arithmetic) only
+apply to the package itself — tests and benchmarks legitimately
+construct narrow arrays and check byte math.
+
+Exit status: 0 clean, 1 findings/failures, 2 usage error — so the
+command gates CI merges. ``--strict`` additionally audits the
+pre-training defenses (Spectral, PDGAN, FedCVAE) with scaled-down
+budgets.
 """
 
 from __future__ import annotations
@@ -20,11 +37,21 @@ import argparse
 import pathlib
 import sys
 
-from .lint import ALL_RULES, RULE_DESCRIPTIONS, lint_paths
+from .lint import ALL_RULES, RULE_DESCRIPTIONS, Finding, lint_paths
+from . import reporting
 
 __all__ = ["main", "run", "build_parser"]
 
-_PASSES = ("lint", "gradcheck", "contracts")
+_PASSES = ("lint", "flow", "gradcheck", "contracts")
+_FORMATS = ("text", "json", "sarif")
+
+# Rules scoped to the package source tree. Everything else (benchmarks,
+# examples, tests) runs the remaining rules.
+_SRC_ONLY_RULES = frozenset({"RG005", "RG006"})
+_OUT_OF_SRC_DIRS = frozenset({"tests", "benchmarks", "examples"})
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+DEFAULT_CACHE_DIR = ".repro-cache/analysis"
 
 
 def _default_target() -> pathlib.Path:
@@ -32,15 +59,32 @@ def _default_target() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parents[1]
 
 
+def _default_targets() -> list[pathlib.Path]:
+    """Package dir, plus repo-level trees when run from the repo root."""
+    targets = [_default_target()]
+    cwd = pathlib.Path.cwd()
+    if (cwd / "pyproject.toml").is_file():
+        for name in sorted(_OUT_OF_SRC_DIRS):
+            candidate = cwd / name
+            if candidate.is_dir():
+                targets.append(candidate)
+    return targets
+
+
+def _is_out_of_src(path: pathlib.Path) -> bool:
+    return not _OUT_OF_SRC_DIRS.isdisjoint(path.parts)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="FedGuard reproduction correctness tooling "
-                    "(AST lint + gradcheck + runtime contracts)",
+                    "(AST lint + dataflow + gradcheck + runtime contracts)",
     )
     parser.add_argument(
         "paths", nargs="*", type=pathlib.Path,
-        help="files/directories to lint (default: the repro package)",
+        help="files/directories to analyze (default: the repro package "
+             "plus benchmarks/, examples/ and tests/ at the repo root)",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -52,19 +96,111 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--rules", default=None,
-        help="comma-separated lint rules to run (default: all)",
+        help="comma-separated static rules to run (default: all of "
+             "RG001-RG007 and RG101-RG105)",
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=_FORMATS, default="text",
+        help="output format for static findings; json/sarif run only the "
+             "static passes",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="write the formatted findings to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help=f"baseline file of accepted findings "
+             f"(default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report accepted findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current static findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the flow-analysis result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None,
+        help=f"flow-analysis cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument("--rtol", type=float, default=None,
                         help="gradcheck relative tolerance")
     parser.add_argument("--atol", type=float, default=None,
                         help="gradcheck absolute tolerance")
     parser.add_argument("--list-rules", action="store_true",
-                        help="print the lint rules and exit")
+                        help="print the static rules and exit")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     return run(build_parser().parse_args(argv))
+
+
+def _split_rules(raw: str | None):
+    """--rules value -> (lint_rules, flow_rules), or raise ValueError."""
+    from .flow import FLOW_RULES
+
+    if raw is None:
+        return None, None
+    requested = {r.strip().upper() for r in raw.split(",") if r.strip()}
+    unknown = requested - ALL_RULES - FLOW_RULES - {"RG100"}
+    if unknown:
+        raise ValueError(
+            f"unknown rules: {sorted(unknown)}; "
+            f"known: {sorted(ALL_RULES | FLOW_RULES)}"
+        )
+    return requested & ALL_RULES, requested & FLOW_RULES
+
+
+def _static_findings(args, paths: list[pathlib.Path]) -> tuple[list[Finding], dict[str, str]]:
+    """Run lint + flow and push everything through the reporting pipeline.
+
+    Returns the surviving findings and the analyzed-source map (used for
+    baseline fingerprints when writing a new baseline).
+    """
+    from .flow import analyze_paths
+    from .flow.project import collect_files
+
+    lint_rules, flow_rules = _split_rules(args.rules)
+    skip = set(args.skip)
+
+    findings: list[Finding] = []
+    if "lint" not in skip:
+        src_paths = [p for p in paths if not _is_out_of_src(p)]
+        out_paths = [p for p in paths if _is_out_of_src(p)]
+        if src_paths:
+            findings.extend(lint_paths(src_paths, rules=lint_rules))
+        if out_paths:
+            scoped = (
+                (lint_rules if lint_rules is not None else ALL_RULES)
+                - _SRC_ONLY_RULES
+            )
+            if scoped:
+                findings.extend(lint_paths(out_paths, rules=scoped))
+    if "flow" not in skip:
+        cache_dir = None
+        if not args.no_cache:
+            cache_dir = args.cache_dir or pathlib.Path(DEFAULT_CACHE_DIR)
+        findings.extend(
+            analyze_paths(paths, rules=flow_rules, cache_dir=cache_dir)
+        )
+
+    sources: dict[str, str] = {}
+    for f, _root in collect_files(paths):
+        try:
+            sources[str(f)] = f.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+
+    findings = reporting.dedup(findings)
+    findings = reporting.apply_suppressions(findings, sources)
+    return findings, sources
 
 
 def run(args: argparse.Namespace) -> int:
@@ -73,16 +209,24 @@ def run(args: argparse.Namespace) -> int:
     Split from :func:`main` so ``repro analyze`` can mount
     :func:`build_parser` as a parent parser and delegate here.
     """
+    from .flow import FLOW_RULE_DESCRIPTIONS
+
     if args.list_rules:
         for rule in sorted(ALL_RULES):
             print(f"{rule}: {RULE_DESCRIPTIONS[rule]}")
+        for rule in sorted(FLOW_RULE_DESCRIPTIONS):
+            print(f"{rule}: {FLOW_RULE_DESCRIPTIONS[rule]}")
         return 0
 
-    failures = 0
     skip = set(args.skip)
+    machine_readable = args.fmt in ("json", "sarif")
+    static_needed = (
+        "lint" not in skip or "flow" not in skip or args.write_baseline
+    )
 
-    if "lint" not in skip:
-        paths = args.paths or [_default_target()]
+    failures = 0
+    if static_needed:
+        paths = list(args.paths) or _default_targets()
         missing = [p for p in paths if not p.exists()]
         if missing:
             print(
@@ -91,19 +235,41 @@ def run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        rules = (
-            [r.strip() for r in args.rules.split(",") if r.strip()]
-            if args.rules else None
-        )
         try:
-            findings = lint_paths(paths, rules=rules)
+            findings, sources = _static_findings(args, paths)
         except ValueError as exc:  # e.g. a typo'd --rules value
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        for finding in findings:
-            print(finding.format())
-        print(f"lint: {len(findings)} finding(s) in {len(paths)} path(s)")
+
+        baseline_path = args.baseline or pathlib.Path(DEFAULT_BASELINE)
+        if args.write_baseline:
+            reporting.write_baseline(findings, sources, baseline_path)
+            print(
+                f"baseline: accepted {len(findings)} finding(s) "
+                f"into {baseline_path}"
+            )
+            return 0
+        if not args.no_baseline and baseline_path.is_file():
+            baseline = reporting.load_baseline(baseline_path)
+            findings = reporting.apply_baseline(findings, baseline, sources)
+
+        descriptions = {**RULE_DESCRIPTIONS, **FLOW_RULE_DESCRIPTIONS}
+        rendered = reporting.format_findings(
+            findings, fmt=args.fmt, descriptions=descriptions
+        )
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(rendered + "\n")
+        elif rendered:
+            print(rendered)
+        if not machine_readable:
+            print(f"static: {len(findings)} finding(s) in {len(paths)} path(s)")
         failures += len(findings)
+
+    if machine_readable:
+        # json/sarif carry Finding records only; the dynamic passes
+        # (gradcheck, contracts) report pass/fail results, not findings.
+        return 0 if failures == 0 else 1
 
     if "gradcheck" not in skip:
         from .gradcheck import DEFAULT_ATOL, DEFAULT_RTOL, run_gradcheck

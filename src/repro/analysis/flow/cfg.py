@@ -1,0 +1,192 @@
+"""Per-function control-flow graphs.
+
+Statements are grouped into basic :class:`Block`\\ s with successor
+edges for ``if``/``while``/``for``/``try`` (coarse: exception edges join
+every handler from the start of the ``try`` body — sound for a forward
+may-analysis). ``break``/``continue``/``return``/``raise`` terminate
+their block and edge to the loop exit / function exit as appropriate.
+
+The dataflow pass (:mod:`.dataflow`) iterates transfer functions over
+these blocks to a fixpoint, which is what makes provenance join
+correctly across branches::
+
+    if fast:
+        rng = np.random.default_rng()      # UNSEEDED
+    else:
+        rng = np.random.default_rng(seed)  # SEEDED
+    use(rng)                               # joined: AMBIGUOUS
+
+Loop bodies feed back into their header, so state reached on a later
+iteration (e.g. an alias created at the bottom of the loop) is visible
+at the top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+@dataclass
+class Block:
+    """A straight-line run of statements with successor edges."""
+
+    index: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list["Block"] = field(default_factory=list)
+
+    def edge(self, other: "Block") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+@dataclass
+class CFG:
+    entry: Block
+    exit: Block
+    blocks: list[Block]
+
+    def rpo(self) -> list[Block]:
+        """Reverse post-order from the entry (good iteration order)."""
+        seen: set[int] = set()
+        order: list[Block] = []
+
+        def visit(block: Block) -> None:
+            if block.index in seen:
+                return
+            seen.add(block.index)
+            for succ in block.succs:
+                visit(succ)
+            order.append(block)
+
+        visit(self.entry)
+        return order[::-1]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+
+    def new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        entry = self.new_block()
+        exit_block = self.new_block()
+        end = self._stmts(body, entry, exit_block, None, None)
+        if end is not None:
+            end.edge(exit_block)
+        return CFG(entry=entry, exit=exit_block, blocks=self.blocks)
+
+    def _stmts(
+        self,
+        stmts: list[ast.stmt],
+        current: Block | None,
+        fn_exit: Block,
+        loop_head: Block | None,
+        loop_exit: Block | None,
+    ) -> Block | None:
+        """Append ``stmts`` starting at ``current``; return the fall-through
+        block (None when control never falls through)."""
+        for stmt in stmts:
+            if current is None:  # unreachable code after return/raise/...
+                current = self.new_block()
+            if isinstance(stmt, (ast.If,)):
+                current.stmts.append(stmt)  # the test expression
+                after = self.new_block()
+                then_entry = self.new_block()
+                current.edge(then_entry)
+                then_end = self._stmts(stmt.body, then_entry, fn_exit, loop_head, loop_exit)
+                if then_end is not None:
+                    then_end.edge(after)
+                if stmt.orelse:
+                    else_entry = self.new_block()
+                    current.edge(else_entry)
+                    else_end = self._stmts(stmt.orelse, else_entry, fn_exit, loop_head, loop_exit)
+                    if else_end is not None:
+                        else_end.edge(after)
+                else:
+                    current.edge(after)
+                current = after
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                head = self.new_block()
+                head.stmts.append(stmt)  # test / iteration header
+                current.edge(head)
+                after = self.new_block()
+                body_entry = self.new_block()
+                head.edge(body_entry)
+                head.edge(after)
+                body_end = self._stmts(stmt.body, body_entry, fn_exit, head, after)
+                if body_end is not None:
+                    body_end.edge(head)
+                if stmt.orelse:
+                    else_end = self._stmts(stmt.orelse, self.new_block(), fn_exit, loop_head, loop_exit)
+                    head.succs[-1:] = []  # else runs between head and after
+                    head.edge(self.blocks[else_end.index] if else_end else after)
+                    if else_end is not None:
+                        else_end.edge(after)
+                current = after
+            elif isinstance(stmt, ast.Try):
+                # Coarse: handlers/finally are reachable from the start of
+                # the try body; body and handlers all fall through to after.
+                before = current
+                body_entry = self.new_block()
+                before.edge(body_entry)
+                after = self.new_block()
+                body_end = self._stmts(stmt.body, body_entry, fn_exit, loop_head, loop_exit)
+                else_end = (
+                    self._stmts(stmt.orelse, self.new_block(), fn_exit, loop_head, loop_exit)
+                    if stmt.orelse
+                    else body_end
+                )
+                if stmt.orelse and body_end is not None:
+                    body_end.edge(else_end if else_end is not None else after)  # type: ignore[arg-type]
+                tail = else_end if stmt.orelse else body_end
+                if tail is not None:
+                    tail.edge(after)
+                for handler in stmt.handlers:
+                    h_entry = self.new_block()
+                    body_entry.edge(h_entry)  # anything in the body may raise
+                    before.edge(h_entry)
+                    h_end = self._stmts(handler.body, h_entry, fn_exit, loop_head, loop_exit)
+                    if h_end is not None:
+                        h_end.edge(after)
+                if stmt.finalbody:
+                    f_entry = self.new_block()
+                    after.edge(f_entry)
+                    f_end = self._stmts(stmt.finalbody, f_entry, fn_exit, loop_head, loop_exit)
+                    after = self.new_block()
+                    if f_end is not None:
+                        f_end.edge(after)
+                current = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.stmts.append(stmt)  # the context expressions
+                current = self._stmts(stmt.body, current, fn_exit, loop_head, loop_exit)
+            elif isinstance(stmt, ast.Return):
+                current.stmts.append(stmt)
+                current.edge(fn_exit)
+                current = None
+            elif isinstance(stmt, ast.Raise):
+                current.stmts.append(stmt)
+                current.edge(fn_exit)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                if loop_exit is not None:
+                    current.edge(loop_exit)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                if loop_head is not None:
+                    current.edge(loop_head)
+                current = None
+            else:
+                current.stmts.append(stmt)
+        return current
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module) -> CFG:
+    """Build the CFG of a function body (or a module's top-level code)."""
+    return _Builder().build(list(func.body))

@@ -50,7 +50,21 @@ import re
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-__all__ = ["Finding", "ALL_RULES", "RULE_DESCRIPTIONS", "lint_paths", "lint_source"]
+__all__ = [
+    "Finding",
+    "ALL_RULES",
+    "RULE_DESCRIPTIONS",
+    "EXCLUDED_DIR_NAMES",
+    "lint_paths",
+    "lint_source",
+]
+
+# Directory names no static pass ever analyzes: test fixtures are
+# *intentionally* buggy, caches and egg-info are not source. Shared with
+# the flow analyzer (repro.analysis.flow.project).
+EXCLUDED_DIR_NAMES = frozenset(
+    {"fixtures", "__pycache__", ".git", ".repro-cache", "repro.egg-info", "out"}
+)
 
 
 @dataclass(frozen=True)
@@ -675,7 +689,10 @@ def _collect_files(paths: Sequence[pathlib.Path]) -> list[pathlib.Path]:
     files: list[pathlib.Path] = []
     for p in paths:
         if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
+            files.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if EXCLUDED_DIR_NAMES.isdisjoint(f.parts)
+            )
         elif p.suffix == ".py":
             files.append(p)
     return files

@@ -315,22 +315,28 @@ def _resident_worker_main(conn) -> None:
                 reply = ("error", traceback.format_exc())
             conn.send_bytes(pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
             continue
-        # kind == "round"
-        try:
-            if pending_error is not None:
-                raise RuntimeError(f"client install failed:\n{pending_error}")
-            _, round_idx, include_decoder, client_ids, weights_ref = message
-            weights = _resolve_weights(weights_ref)
-            results = []
-            for client_id in client_ids:
-                client = clients[client_id]
-                t0 = time.perf_counter()
-                update = client.fit(weights, include_decoder, round_idx)
-                elapsed = time.perf_counter() - t0
-                results.append(_pack_update(update, elapsed, shipped_versions))
-            reply = ("ok", results)
-        except Exception:  # noqa: BLE001 - forwarded to the main process
-            reply = ("error", traceback.format_exc())
+        if kind == "round":
+            try:
+                if pending_error is not None:
+                    raise RuntimeError(f"client install failed:\n{pending_error}")
+                _, round_idx, include_decoder, client_ids, weights_ref = message
+                weights = _resolve_weights(weights_ref)
+                results = []
+                for client_id in client_ids:
+                    client = clients[client_id]
+                    t0 = time.perf_counter()
+                    update = client.fit(weights, include_decoder, round_idx)
+                    elapsed = time.perf_counter() - t0
+                    results.append(_pack_update(update, elapsed, shipped_versions))
+                reply = ("ok", results)
+            except Exception:  # noqa: BLE001 - forwarded to the main process
+                reply = ("error", traceback.format_exc())
+            conn.send_bytes(pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
+            continue
+        # Unknown tags are a protocol bug on the sender side: reply with
+        # an error instead of silently dropping (the sender is blocked in
+        # recv and would hang forever on a dropped message).
+        reply = ("error", f"unknown message tag {kind!r}")
         conn.send_bytes(pickle.dumps(reply, protocol=_PICKLE_PROTOCOL))
 
 
@@ -516,6 +522,8 @@ class ProcessPoolBackend(ExecutionBackend):
             status, payload = workers[worker_idx].recv()
         if status == "error":
             raise RuntimeError(f"resident worker failed:\n{payload}")
+        if status != "ok":
+            raise RuntimeError(f"unexpected worker reply tag {status!r}")
         return payload
 
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
@@ -610,6 +618,8 @@ class ProcessPoolBackend(ExecutionBackend):
             status, payload = self._workers[worker_idx].recv()
             if status == "error":
                 raise RuntimeError(f"resident worker harvest failed:\n{payload}")
+            if status != "ok":
+                raise RuntimeError(f"unexpected worker reply tag {status!r}")
             harvested.update(payload)
         return harvested
 

@@ -283,6 +283,14 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
             f"unsupported checkpoint version {state.get('version')!r}; "
             f"this build reads version {CHECKPOINT_VERSION}"
         )
+    history = state["history"]
+    last_round = history.rounds[-1].round_idx if history.rounds else 0
+    if state["round"] != last_round:
+        raise ValueError(
+            f"checkpoint declares round {state['round']!r} but its history "
+            f"ends at round {last_round}; refusing to resume from an "
+            f"inconsistent checkpoint"
+        )
     config = FederationConfig.from_dict(state["config"])
     server = build_federation(
         config,
@@ -298,7 +306,7 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
     server._setup_done = state["setup_done"]
     for client in server.clients:
         client.load_state_dict(state["clients"][client.client_id])
-    return server, state["history"]
+    return server, history
 
 
 def run_federation(

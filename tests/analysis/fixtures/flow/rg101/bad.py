@@ -1,0 +1,29 @@
+"""RG101 fixture (bad twin): unseeded/ambiguous RNG reaching round logic.
+
+Analyzed under a synthetic ``fl/`` path; ``# expect: RGxxx`` marks the
+line each finding must land on.
+"""
+
+import numpy as np
+
+
+def run_round(rng):
+    return rng
+
+
+def bad_unseeded():
+    rng = np.random.default_rng()
+    return run_round(rng)  # expect: RG101
+
+
+def bad_ambiguous(seed, fast):
+    if fast:
+        rng = np.random.default_rng()
+    else:
+        rng = np.random.default_rng(seed)
+    return run_round(rng)  # expect: RG101
+
+
+class Actor:
+    def __init__(self):
+        self.rng = np.random.default_rng()  # expect: RG101

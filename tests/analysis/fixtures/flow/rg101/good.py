@@ -1,0 +1,23 @@
+"""RG101 fixture (good twin): every stream seeded or spawned."""
+
+import numpy as np
+
+
+def run_round(rng):
+    return rng
+
+
+def good_seeded(seed):
+    rng = np.random.default_rng(seed)
+    return run_round(rng)
+
+
+def good_spawned(seed):
+    root = np.random.default_rng(seed)
+    child = root.spawn(1)[0]
+    return run_round(child)
+
+
+class Actor:
+    def __init__(self, seed):
+        self.rng = np.random.default_rng(seed)

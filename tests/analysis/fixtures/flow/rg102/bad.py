@@ -1,0 +1,19 @@
+"""RG102 fixture (bad twin): one stream aliased across consumers."""
+
+import numpy as np
+
+
+class FLClient:
+    def __init__(self, cid, rng):
+        self.cid = cid
+        self.rng = rng
+
+
+def aggregate(updates, rng):
+    return updates, rng
+
+
+def build(n):
+    rng = np.random.default_rng(7)
+    clients = [FLClient(i, rng) for i in range(n)]  # expect: RG102
+    return aggregate(clients, rng)  # expect: RG102

@@ -1,0 +1,22 @@
+"""RG102 fixture (good twin): a spawned child stream per consumer."""
+
+import numpy as np
+
+
+class FLClient:
+    def __init__(self, cid, rng):
+        self.cid = cid
+        self.rng = rng
+
+
+def aggregate(updates, rng):
+    return updates, rng
+
+
+def build(n):
+    root = np.random.default_rng(7)
+    agg_rng, client_root = root.spawn(2)
+    clients = [
+        FLClient(i, child) for i, child in enumerate(client_root.spawn(n))
+    ]
+    return aggregate(clients, agg_rng)

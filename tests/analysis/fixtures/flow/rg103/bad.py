@@ -1,0 +1,30 @@
+"""RG103 fixture (bad twin): protocol drift in both directions.
+
+``shutdown`` is sent but no dispatch branch consumes it; ``error`` has a
+dispatch branch but nothing ever sends it.
+"""
+
+import pickle
+
+
+def worker(conn):
+    while True:
+        msg = pickle.loads(conn.recv_bytes())
+        kind = msg[0]
+        if kind == "close":
+            return
+        if kind == "fit":
+            reply = ("ok", 1)
+            conn.send_bytes(pickle.dumps(reply))
+
+
+def driver(conn):
+    conn.send_bytes(pickle.dumps(("fit", 3)))
+    conn.send_bytes(pickle.dumps(("shutdown",)))  # expect: RG103
+    status, payload = conn.recv()
+    if status == "ok":
+        return payload
+    if status == "error":  # expect: RG103
+        raise RuntimeError(payload)
+    conn.send_bytes(pickle.dumps(("close",)))
+    return None

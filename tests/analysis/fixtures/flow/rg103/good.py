@@ -1,0 +1,30 @@
+"""RG103 fixture (good twin): every tag sent is dispatched and vice versa."""
+
+import pickle
+
+
+def worker(conn):
+    while True:
+        msg = pickle.loads(conn.recv_bytes())
+        kind = msg[0]
+        if kind == "close":
+            return
+        if kind == "fit":
+            try:
+                reply = ("ok", 1)
+            except Exception:  # pragma: no cover
+                reply = ("error", "boom")
+            conn.send_bytes(pickle.dumps(reply))
+
+
+def driver(conn):
+    conn.send_bytes(pickle.dumps(("fit", 3)))
+    status, payload = conn.recv()
+    if status == "ok":
+        result = payload
+    elif status == "error":
+        raise RuntimeError(payload)
+    else:
+        raise RuntimeError(f"unexpected reply tag {status!r}")
+    conn.send_bytes(pickle.dumps(("close",)))
+    return result

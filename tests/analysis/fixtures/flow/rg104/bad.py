@@ -1,0 +1,18 @@
+"""RG104 fixture (bad twin): checkpoint writer/reader key drift.
+
+``round`` is written but never restored; ``seed`` is read but never
+written.
+"""
+
+
+def federation_state(server):
+    return {
+        "round": server.round,  # expect: RG104
+        "weights": server.weights,
+    }
+
+
+def restore_federation(state):
+    weights = state["weights"]
+    seed = state["seed"]  # expect: RG104
+    return weights, seed

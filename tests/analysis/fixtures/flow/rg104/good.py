@@ -1,0 +1,21 @@
+"""RG104 fixture (good twin): symmetric checkpoint keys, both scopes."""
+
+
+def federation_state(server):
+    return {
+        "round": server.round,
+        "weights": server.weights,
+    }
+
+
+def restore_federation(state):
+    return state["weights"], state["round"]
+
+
+class Client:
+    def state_dict(self):
+        return {"rng_state": self.rng_state, "rounds_fit": self.rounds_fit}
+
+    def load_state_dict(self, state):
+        self.rng_state = state["rng_state"]
+        self.rounds_fit = state["rounds_fit"]

@@ -1,0 +1,13 @@
+"""RG105 fixture (bad twin): set iteration feeding an ordered result."""
+
+
+def select(ids):
+    chosen = {i for i in ids if i % 2}
+    out = []
+    for cid in chosen:  # expect: RG105
+        out.append(cid)
+    return out
+
+
+def materialize(ids):
+    return list({i for i in ids})  # expect: RG105

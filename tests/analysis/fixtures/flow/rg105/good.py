@@ -1,0 +1,18 @@
+"""RG105 fixture (good twin): unordered collections sorted before use."""
+
+
+def select(ids):
+    chosen = {i for i in ids if i % 2}
+    out = []
+    for cid in sorted(chosen):
+        out.append(cid)
+    return out
+
+
+def materialize(ids):
+    return sorted({i for i in ids})
+
+
+def membership_only(ids, needle):
+    chosen = {i for i in ids if i % 2}
+    return needle in chosen

@@ -399,3 +399,31 @@ class TestRepoIsClean:
         pkg_dir = __import__("pathlib").Path(repro.__file__).parent
         findings = lint_paths([pkg_dir])
         assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_out_of_src_trees_are_clean_under_scoped_rules(self):
+        # benchmarks/, examples/ and tests/ are linted with the src-only
+        # rules (RG005 narrow dtypes, RG006 wire-byte math) removed.
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        trees = [
+            repo / name for name in ("benchmarks", "examples", "tests")
+            if (repo / name).is_dir()
+        ]
+        scoped = sorted(ALL_RULES - {"RG005", "RG006"})
+        findings = lint_paths(trees, rules=scoped)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestFileCollection:
+    def test_fixture_directories_are_excluded(self, tmp_path):
+        bad = "import numpy as np\nx = np.random.rand(3)\n"
+        fixture = tmp_path / "fixtures" / "bad.py"
+        fixture.parent.mkdir()
+        fixture.write_text(bad)
+        (tmp_path / "real.py").write_text(bad)
+        # Directory walks skip fixtures/ (intentionally-buggy inputs)...
+        findings = lint_paths([tmp_path])
+        assert [f.path for f in findings] == [str(tmp_path / "real.py")]
+        # ...but an explicitly named file is always linted.
+        assert _rules(lint_paths([fixture])) == ["RG001"]

@@ -1,0 +1,221 @@
+"""Tests for the shared reporting pipeline and the analyze CLI contract.
+
+Covers: ``# repro: noqa[...]`` suppressions (honored + unused flagged as
+RG100), baseline round-trip with line-number drift, output formats
+(json envelope, SARIF 2.1.0 structure), dedup, and the CLI exit-code
+contract (0 clean / 1 findings / 2 usage error).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import reporting
+from repro.analysis.cli import main
+from repro.analysis.lint import Finding
+
+
+def _finding(rule="RG101", path="m.py", line=2, col=0, message="boom"):
+    return Finding(rule, path, line, col, message)
+
+
+class TestDedup:
+    def test_one_finding_per_path_line_rule(self):
+        a = _finding(message="first")
+        b = _finding(message="second")
+        c = _finding(line=3)
+        assert reporting.dedup([a, b, c]) == [a, c]
+
+
+class TestSuppressions:
+    def test_matching_suppression_is_honored(self):
+        source = "import numpy as np\nrng = np.random.default_rng()  # repro: noqa[RG101]\n"
+        out = reporting.apply_suppressions([_finding()], {"m.py": source})
+        assert out == []
+
+    def test_suppression_requires_matching_code(self):
+        source = "x = 1\ny = 2  # repro: noqa[RG105]\n"
+        f = _finding()
+        out = reporting.apply_suppressions([f], {"m.py": source})
+        # The RG101 finding survives AND the RG105 suppression is unused.
+        assert {o.rule for o in out} == {"RG101", "RG100"}
+
+    def test_unused_suppression_becomes_rg100(self):
+        source = "x = 1  # repro: noqa[RG103]\n"
+        out = reporting.apply_suppressions([], {"m.py": source})
+        assert [o.rule for o in out] == ["RG100"]
+        assert out[0].line == 1
+        assert "RG103" in out[0].message
+
+    def test_multiple_codes(self):
+        source = "x = 1\ny = 2  # repro: noqa[RG101, RG105]\n"
+        out = reporting.apply_suppressions(
+            [_finding(), _finding(rule="RG105")], {"m.py": source}
+        )
+        assert out == []
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = '"""docs say # repro: noqa[RG101] here"""\nx = 1\n'
+        out = reporting.apply_suppressions([], {"m.py": source})
+        assert out == []
+
+
+class TestBaseline:
+    def test_round_trip_filters_accepted_findings(self, tmp_path):
+        source = "a = 1\nb = unseeded()\n"
+        f = _finding()
+        baseline_path = tmp_path / "baseline.json"
+        reporting.write_baseline([f], {"m.py": source}, baseline_path)
+        baseline = reporting.load_baseline(baseline_path)
+        assert reporting.apply_baseline([f], baseline, {"m.py": source}) == []
+
+    def test_matches_survive_line_drift(self, tmp_path):
+        source = "a = 1\nb = unseeded()\n"
+        baseline_path = tmp_path / "baseline.json"
+        reporting.write_baseline(
+            [_finding(line=2)], {"m.py": source}, baseline_path
+        )
+        baseline = reporting.load_baseline(baseline_path)
+        # Two lines inserted above: same content, new line number.
+        drifted = "import x\nimport y\na = 1\nb = unseeded()\n"
+        moved = _finding(line=4)
+        assert reporting.apply_baseline([moved], baseline, {"m.py": drifted}) == []
+
+    def test_edited_line_invalidates_entry(self, tmp_path):
+        source = "a = 1\nb = unseeded()\n"
+        baseline_path = tmp_path / "baseline.json"
+        reporting.write_baseline(
+            [_finding(line=2)], {"m.py": source}, baseline_path
+        )
+        baseline = reporting.load_baseline(baseline_path)
+        edited = "a = 1\nb = unseeded(now_different=True)\n"
+        f = _finding(line=2)
+        assert reporting.apply_baseline([f], baseline, {"m.py": edited}) == [f]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = reporting.load_baseline(tmp_path / "nope.json")
+        f = _finding()
+        assert reporting.apply_baseline([f], baseline, {}) == [f]
+
+
+class TestFormats:
+    def test_text(self):
+        out = reporting.format_findings([_finding()], fmt="text")
+        assert out == "m.py:2:1: RG101 boom"
+
+    def test_json_envelope(self):
+        doc = json.loads(reporting.format_findings([_finding()], fmt="json"))
+        assert doc["version"] == reporting.JSON_SCHEMA_VERSION
+        assert doc["findings"] == [
+            {"rule": "RG101", "path": "m.py", "line": 2, "col": 0,
+             "message": "boom"}
+        ]
+
+    def test_sarif_structure(self):
+        doc = json.loads(
+            reporting.format_findings(
+                [_finding()], fmt="sarif", descriptions={"RG101": "desc"}
+            )
+        )
+        # Structural validation against the SARIF 2.1.0 shape (no
+        # jsonschema dependency: assert the required spine directly).
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        assert {"id": "RG101", "shortDescription": {"text": "desc"}} in driver["rules"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "RG101"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "boom"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "m.py"
+        assert loc["region"] == {"startLine": 2, "startColumn": 1}
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            reporting.format_findings([], fmt="xml")
+
+
+_STATIC = ["--skip", "gradcheck", "--skip", "contracts", "--no-cache"]
+
+
+class TestCliExitCodes:
+    def _clean_file(self, tmp_path):
+        p = tmp_path / "clean.py"
+        p.write_text("import numpy as np\n\n\ndef f(seed):\n    return np.random.default_rng(seed)\n")
+        return p
+
+    def _dirty_file(self, tmp_path):
+        p = tmp_path / "dirty.py"
+        p.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        return p
+
+    def test_exit_0_on_clean_tree(self, tmp_path, capsys):
+        assert main(_STATIC + [str(self._clean_file(tmp_path))]) == 0
+        assert "static: 0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        assert main(_STATIC + [str(self._dirty_file(tmp_path))]) == 1
+        assert "RG001" in capsys.readouterr().out
+
+    def test_exit_2_on_missing_path(self, tmp_path, capsys):
+        assert main(_STATIC + [str(tmp_path / "nope.py")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_exit_2_on_unknown_rule(self, tmp_path, capsys):
+        path = self._clean_file(tmp_path)
+        assert main(_STATIC + ["--rules", "RG999", str(path)]) == 2
+        assert "unknown rules" in capsys.readouterr().err
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        dirty = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv = _STATIC + ["--baseline", str(baseline), str(dirty)]
+        assert main(argv + ["--write-baseline"]) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+        # Accepted debt no longer fails the run...
+        assert main(argv) == 0
+        # ...unless the baseline is ignored.
+        assert main(argv + ["--no-baseline"]) == 1
+
+    def test_machine_readable_output(self, tmp_path, capsys):
+        dirty = self._dirty_file(tmp_path)
+        assert main(_STATIC + ["--format", "json", str(dirty)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["rule"] == "RG001"
+
+    def test_output_file(self, tmp_path, capsys):
+        dirty = self._dirty_file(tmp_path)
+        out = tmp_path / "report.sarif"
+        assert main(
+            _STATIC + ["--format", "sarif", "--output", str(out), str(dirty)]
+        ) == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+
+class TestPerDirectoryScoping:
+    """RG005/RG006 guard the package source only; tests and benchmarks
+    legitimately build narrow arrays and check byte math."""
+
+    _NARROW = 'import numpy as np\nX = np.zeros(3, dtype="float32")\n'
+
+    def test_src_only_rule_fires_under_src(self, tmp_path, capsys):
+        target = tmp_path / "pkg" / "nn" / "m.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self._NARROW)
+        assert main(_STATIC + [str(target)]) == 1
+        assert "RG005" in capsys.readouterr().out
+
+    def test_src_only_rule_silent_under_tests(self, tmp_path, capsys):
+        target = tmp_path / "tests" / "nn" / "m.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self._NARROW)
+        assert main(_STATIC + [str(target)]) == 0
+        assert "static: 0 finding(s)" in capsys.readouterr().out

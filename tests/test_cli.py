@@ -125,5 +125,5 @@ class TestAnalyzeCommand:
     def test_lint_only_pass_on_clean_tree(self, capsys):
         assert main(["analyze", "--skip", "gradcheck", "--skip", "contracts"]) == 0
         out = capsys.readouterr().out
-        assert "lint: 0 finding(s)" in out
+        assert "static: 0 finding(s)" in out
         assert "analysis: OK" in out
