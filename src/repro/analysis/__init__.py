@@ -23,7 +23,10 @@ from .contracts import (
     ContractViolation,
     aggregate_contract,
     array_contract,
+    client_batched,
     contracts_enabled,
+    shape_oracle_report,
+    shape_recording_enabled,
     verify_aggregate,
 )
 from .lint import ALL_RULES, RULE_DESCRIPTIONS, Finding, lint_paths, lint_source
@@ -32,7 +35,10 @@ __all__ = [
     "ContractViolation",
     "aggregate_contract",
     "array_contract",
+    "client_batched",
     "contracts_enabled",
+    "shape_oracle_report",
+    "shape_recording_enabled",
     "verify_aggregate",
     "Finding",
     "ALL_RULES",

@@ -1,17 +1,23 @@
 """``python -m repro.analysis`` — run the correctness-tooling passes.
 
-Four passes, all enabled by default:
+Five passes, all enabled by default:
 
 * **lint** — the RG001–RG007 AST rules over the analyzed paths;
 * **flow** — the whole-program dataflow analyzer (RG101–RG105: RNG
   provenance, stream aliasing, protocol exhaustiveness, checkpoint
   completeness, iteration-order determinism);
+* **shapes** — the array shape/dtype/client-axis abstract interpreter
+  (RG201–RG205: broadcast compatibility, silent dtype widening, hidden
+  copies in hot paths, per-client Python loops, batch-axis discipline);
 * **gradcheck** — finite-difference verification of every public
   layer/activation/loss backward pass;
 * **contracts** — dynamic audit of every registered defense aggregator
   under the no-mutation/shape/dtype contract.
 
-The two static passes share one reporting pipeline
+Select passes positively with ``--passes lint,shapes`` (an unknown pass
+name is a usage error, exit 2) or subtractively with ``--skip``.
+
+The three static passes share one reporting pipeline
 (:mod:`repro.analysis.reporting`): findings are deduplicated, filtered
 through ``# repro: noqa[RGxxx]`` suppressions (unused suppressions come
 back as RG100), then through the committed ``analysis-baseline.json``.
@@ -42,7 +48,8 @@ from . import reporting
 
 __all__ = ["main", "run", "build_parser"]
 
-_PASSES = ("lint", "flow", "gradcheck", "contracts")
+_PASSES = ("lint", "flow", "shapes", "gradcheck", "contracts")
+_STATIC_PASSES = frozenset({"lint", "flow", "shapes"})
 _FORMATS = ("text", "json", "sarif")
 
 # Rules scoped to the package source tree. Everything else (benchmarks,
@@ -78,8 +85,9 @@ def _is_out_of_src(path: pathlib.Path) -> bool:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="FedGuard reproduction correctness tooling "
-                    "(AST lint + dataflow + gradcheck + runtime contracts)",
+        description="FedGuard reproduction correctness tooling (AST lint + "
+                    "dataflow + shape interpreter + gradcheck + runtime "
+                    "contracts)",
     )
     parser.add_argument(
         "paths", nargs="*", type=pathlib.Path,
@@ -95,9 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip a pass (repeatable)",
     )
     parser.add_argument(
+        "--passes", default=None,
+        help="comma-separated passes to run (default: all of "
+             f"{','.join(_PASSES)}); an unknown name is a usage error",
+    )
+    parser.add_argument(
         "--rules", default=None,
         help="comma-separated static rules to run (default: all of "
-             "RG001-RG007 and RG101-RG105)",
+             "RG001-RG007, RG101-RG105 and RG201-RG205)",
     )
     parser.add_argument(
         "--format", dest="fmt", choices=_FORMATS, default="text",
@@ -143,35 +156,75 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _split_rules(raw: str | None):
-    """--rules value -> (lint_rules, flow_rules), or raise ValueError."""
-    from .flow import FLOW_RULES
+    """--rules value -> (lint, flow, shape) rule sets, or raise ValueError."""
+    from .flow import FLOW_RULES, SHAPE_RULES
 
     if raw is None:
-        return None, None
+        return None, None, None
     requested = {r.strip().upper() for r in raw.split(",") if r.strip()}
-    unknown = requested - ALL_RULES - FLOW_RULES - {"RG100"}
+    unknown = requested - ALL_RULES - FLOW_RULES - SHAPE_RULES - {"RG100"}
     if unknown:
         raise ValueError(
             f"unknown rules: {sorted(unknown)}; "
-            f"known: {sorted(ALL_RULES | FLOW_RULES)}"
+            f"known: {sorted(ALL_RULES | FLOW_RULES | SHAPE_RULES)}"
         )
-    return requested & ALL_RULES, requested & FLOW_RULES
+    return (
+        requested & ALL_RULES,
+        requested & FLOW_RULES,
+        requested & SHAPE_RULES,
+    )
 
 
-def _static_findings(args, paths: list[pathlib.Path]) -> tuple[list[Finding], dict[str, str]]:
-    """Run lint + flow and push everything through the reporting pipeline.
+def _selected_passes(args) -> set[str]:
+    """Resolve --passes/--skip into the set of passes to run.
+
+    Raises ValueError (a usage error, exit 2) on an unknown pass name so a
+    typo'd ``--passes shape`` fails loudly instead of silently running
+    nothing.
+    """
+    if args.passes is None:
+        selected = set(_PASSES)
+    else:
+        requested = [p.strip().lower() for p in args.passes.split(",") if p.strip()]
+        unknown = sorted({p for p in requested if p not in _PASSES})
+        if unknown:
+            raise ValueError(
+                f"unknown pass(es): {', '.join(unknown)}; "
+                f"valid passes: {', '.join(_PASSES)}"
+            )
+        selected = set(requested)
+    return selected - set(args.skip)
+
+
+def _rule_pass(rule: str) -> str:
+    """Which pass owns a rule code (for per-pass baseline updates)."""
+    if rule.startswith("RG0"):
+        return "lint"
+    if rule.startswith("RG2"):
+        return "shapes"
+    return "flow"
+
+
+def _static_findings(
+    args, paths: list[pathlib.Path], selected: set[str]
+) -> tuple[list[Finding], dict[str, str]]:
+    """Run lint + flow + shapes and push everything through the reporting
+    pipeline.
 
     Returns the surviving findings and the analyzed-source map (used for
-    baseline fingerprints when writing a new baseline).
+    baseline fingerprints when writing a new baseline). The flow and shape
+    domains share one engine invocation (and one result-cache entry): the
+    engine is called once with the union of their active rules.
     """
-    from .flow import analyze_paths
+    from .flow import FLOW_RULES, SHAPE_RULES, analyze_paths
     from .flow.project import collect_files
 
-    lint_rules, flow_rules = _split_rules(args.rules)
-    skip = set(args.skip)
+    lint_rules, flow_rules, shape_rules = _split_rules(args.rules)
 
     findings: list[Finding] = []
-    if "lint" not in skip:
+    active_rules: set[str] = set()
+    if "lint" in selected:
+        active_rules |= lint_rules if lint_rules is not None else ALL_RULES
         src_paths = [p for p in paths if not _is_out_of_src(p)]
         out_paths = [p for p in paths if _is_out_of_src(p)]
         if src_paths:
@@ -183,12 +236,19 @@ def _static_findings(args, paths: list[pathlib.Path]) -> tuple[list[Finding], di
             )
             if scoped:
                 findings.extend(lint_paths(out_paths, rules=scoped))
-    if "flow" not in skip:
+
+    engine_rules: set[str] = set()
+    if "flow" in selected:
+        engine_rules |= flow_rules if flow_rules is not None else FLOW_RULES
+    if "shapes" in selected:
+        engine_rules |= shape_rules if shape_rules is not None else SHAPE_RULES
+    if engine_rules:
+        active_rules |= engine_rules
         cache_dir = None
         if not args.no_cache:
             cache_dir = args.cache_dir or pathlib.Path(DEFAULT_CACHE_DIR)
         findings.extend(
-            analyze_paths(paths, rules=flow_rules, cache_dir=cache_dir)
+            analyze_paths(paths, rules=engine_rules, cache_dir=cache_dir)
         )
 
     sources: dict[str, str] = {}
@@ -199,7 +259,9 @@ def _static_findings(args, paths: list[pathlib.Path]) -> tuple[list[Finding], di
             continue
 
     findings = reporting.dedup(findings)
-    findings = reporting.apply_suppressions(findings, sources)
+    findings = reporting.apply_suppressions(
+        findings, sources, active_rules=active_rules
+    )
     return findings, sources
 
 
@@ -209,20 +271,25 @@ def run(args: argparse.Namespace) -> int:
     Split from :func:`main` so ``repro analyze`` can mount
     :func:`build_parser` as a parent parser and delegate here.
     """
-    from .flow import FLOW_RULE_DESCRIPTIONS
+    from .flow import FLOW_RULE_DESCRIPTIONS, SHAPE_RULE_DESCRIPTIONS
 
     if args.list_rules:
         for rule in sorted(ALL_RULES):
             print(f"{rule}: {RULE_DESCRIPTIONS[rule]}")
         for rule in sorted(FLOW_RULE_DESCRIPTIONS):
             print(f"{rule}: {FLOW_RULE_DESCRIPTIONS[rule]}")
+        for rule in sorted(SHAPE_RULE_DESCRIPTIONS):
+            print(f"{rule}: {SHAPE_RULE_DESCRIPTIONS[rule]}")
         return 0
 
-    skip = set(args.skip)
+    try:
+        selected = _selected_passes(args)
+    except ValueError as exc:  # unknown pass name in --passes
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     machine_readable = args.fmt in ("json", "sarif")
-    static_needed = (
-        "lint" not in skip or "flow" not in skip or args.write_baseline
-    )
+    static_selected = selected & _STATIC_PASSES
+    static_needed = bool(static_selected) or args.write_baseline
 
     failures = 0
     if static_needed:
@@ -236,24 +303,39 @@ def run(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            findings, sources = _static_findings(args, paths)
+            findings, sources = _static_findings(args, paths, static_selected)
         except ValueError as exc:  # e.g. a typo'd --rules value
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
         baseline_path = args.baseline or pathlib.Path(DEFAULT_BASELINE)
         if args.write_baseline:
-            reporting.write_baseline(findings, sources, baseline_path)
+            # Partial runs update only their own entries: findings owned
+            # by passes that did not run are carried over, not dropped.
+            preserved: list[dict] = []
+            if static_selected != _STATIC_PASSES and baseline_path.is_file():
+                existing = reporting.load_baseline(baseline_path)
+                preserved = [
+                    e for e in existing.entries.values()
+                    if _rule_pass(e.get("rule", "")) not in static_selected
+                ]
+            reporting.write_baseline(
+                findings, sources, baseline_path, preserved=preserved
+            )
             print(
                 f"baseline: accepted {len(findings)} finding(s) "
-                f"into {baseline_path}"
+                f"({len(preserved)} preserved) into {baseline_path}"
             )
             return 0
         if not args.no_baseline and baseline_path.is_file():
             baseline = reporting.load_baseline(baseline_path)
             findings = reporting.apply_baseline(findings, baseline, sources)
 
-        descriptions = {**RULE_DESCRIPTIONS, **FLOW_RULE_DESCRIPTIONS}
+        descriptions = {
+            **RULE_DESCRIPTIONS,
+            **FLOW_RULE_DESCRIPTIONS,
+            **SHAPE_RULE_DESCRIPTIONS,
+        }
         rendered = reporting.format_findings(
             findings, fmt=args.fmt, descriptions=descriptions
         )
@@ -271,7 +353,7 @@ def run(args: argparse.Namespace) -> int:
         # (gradcheck, contracts) report pass/fail results, not findings.
         return 0 if failures == 0 else 1
 
-    if "gradcheck" not in skip:
+    if "gradcheck" in selected:
         from .gradcheck import DEFAULT_ATOL, DEFAULT_RTOL, run_gradcheck
 
         results = run_gradcheck(
@@ -284,7 +366,7 @@ def run(args: argparse.Namespace) -> int:
         print(f"gradcheck: {len(results) - len(failed)}/{len(results)} passed")
         failures += len(failed)
 
-    if "contracts" not in skip:
+    if "contracts" in selected:
         from .runtime import run_contracts_audit
 
         audits = run_contracts_audit(include_pretrained=args.strict)

@@ -24,6 +24,17 @@ checks (the CI analysis gate and the contract tests do).
 function that *always* checks, independent of the environment — it is what
 ``python -m repro.analysis`` uses to dynamically audit every registered
 defense, and what tests call directly.
+
+A third family pairs with the static RG200 shape analysis
+(:mod:`repro.analysis.flow.shapes`): :func:`client_batched` declares that
+a function preserves the leading (client/batch) axis of its array inputs.
+Statically, the flow engine seeds the function's parameters as
+axis-carrying and reports RG205 if a return provably drops the axis.  At
+runtime the decorator is a zero-overhead no-op unless
+``REPRO_RECORD_SHAPES=1`` is set before import, in which case every call
+records observed input/output shapes and dtypes; :func:`shape_oracle_report`
+then cross-checks the same invariants (leading axis preserved, no silent
+float widening) against ground truth from a real federation.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from __future__ import annotations
 import functools
 import inspect
 import os
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -41,6 +53,12 @@ __all__ = [
     "array_contract",
     "aggregate_contract",
     "verify_aggregate",
+    "client_batched",
+    "record_shapes",
+    "shape_recording_enabled",
+    "shape_observations",
+    "clear_shape_observations",
+    "shape_oracle_report",
 ]
 
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -49,6 +67,11 @@ _TRUTHY = {"1", "true", "yes", "on"}
 def contracts_enabled() -> bool:
     """Whether ``REPRO_CHECK_CONTRACTS`` requests runtime contract checks."""
     return os.environ.get("REPRO_CHECK_CONTRACTS", "").strip().lower() in _TRUTHY
+
+
+def shape_recording_enabled() -> bool:
+    """Whether ``REPRO_RECORD_SHAPES`` requests the runtime shape oracle."""
+    return os.environ.get("REPRO_RECORD_SHAPES", "").strip().lower() in _TRUTHY
 
 
 class ContractViolation(TypeError):
@@ -260,3 +283,115 @@ def verify_aggregate(strategy, round_idx, updates, global_weights, context):
         updates,
         global_weights,
     )
+
+
+# ---------------------------------------------------------------------------
+# client_batched: leading-axis declaration + runtime shape oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShapeObservation:
+    """One recorded call of a ``@client_batched`` function."""
+
+    qualname: str
+    arg_shapes: tuple  # shapes of the ndarray positional args, in order
+    arg_dtypes: tuple  # matching dtype names
+    out_shape: tuple | None  # None when the result is not an ndarray
+    out_dtype: str | None
+
+
+_SHAPE_LOG: list[ShapeObservation] = []
+
+
+def record_shapes(func: Callable) -> Callable:
+    """Wrap ``func`` to record observed array shapes/dtypes on every call.
+
+    This is the always-on recorder behind :func:`client_batched`; tests
+    use it directly so recording can be exercised without re-importing
+    the package under ``REPRO_RECORD_SHAPES=1``.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        arrays = [a for a in args if isinstance(a, np.ndarray)]
+        result = func(*args, **kwargs)
+        out = result if isinstance(result, np.ndarray) else None
+        _SHAPE_LOG.append(
+            ShapeObservation(
+                qualname=func.__qualname__,
+                arg_shapes=tuple(a.shape for a in arrays),
+                arg_dtypes=tuple(str(a.dtype) for a in arrays),
+                out_shape=None if out is None else out.shape,
+                out_dtype=None if out is None else str(out.dtype),
+            )
+        )
+        return result
+
+    wrapper.__repro_client_batched__ = True
+    return wrapper
+
+
+def client_batched(func: Callable) -> Callable:
+    """Declare that ``func`` preserves the leading axis of its array inputs.
+
+    The declaration is what the static RG205 rule keys on: the flow
+    engine seeds every parameter as carrying the client axis and flags
+    any return that provably drops it.  At runtime this is the original
+    function object untouched (zero overhead) unless
+    ``REPRO_RECORD_SHAPES=1`` was set at import time, in which case calls
+    are recorded for :func:`shape_oracle_report`.
+    """
+    func.__repro_client_batched__ = True
+    if not shape_recording_enabled():
+        return func
+    return record_shapes(func)
+
+
+def shape_observations() -> list[ShapeObservation]:
+    """All observations recorded so far (order of execution)."""
+    return list(_SHAPE_LOG)
+
+
+def clear_shape_observations() -> None:
+    _SHAPE_LOG.clear()
+
+
+def shape_oracle_report() -> dict:
+    """Cross-check recorded calls against the static batched invariants.
+
+    The static analysis claims two things about every ``@client_batched``
+    function that analyzes clean (no RG205/RG202): the leading axis of
+    the first array input survives to the output, and float32 inputs are
+    not silently widened to float64.  This report checks both claims
+    against the recorded ground truth; a non-empty ``disagreements`` list
+    means either the annotation or the interpreter's transfer functions
+    are wrong.
+    """
+    disagreements: list[str] = []
+    call_sites: set[str] = set()
+    for obs in _SHAPE_LOG:
+        call_sites.add(obs.qualname)
+        if obs.out_shape is None or not obs.arg_shapes:
+            continue
+        first = obs.arg_shapes[0]
+        if first and obs.out_shape and obs.out_shape[0] != first[0]:
+            disagreements.append(
+                f"{obs.qualname}: leading axis {first[0]} of input shape "
+                f"{first} not preserved in output shape {obs.out_shape}"
+            )
+        float_inputs = [d for d in obs.arg_dtypes if d.startswith("float")]
+        if (
+            float_inputs
+            and all(d == "float32" for d in float_inputs)
+            and obs.out_dtype == "float64"
+        ):
+            disagreements.append(
+                f"{obs.qualname}: float32 inputs silently widened to "
+                f"float64 output"
+            )
+    return {
+        "observations": len(_SHAPE_LOG),
+        "call_sites": sorted(call_sites),
+        "disagreements": disagreements,
+    }

@@ -13,6 +13,9 @@ this package sees the *whole* ``src/repro`` tree at once:
   call-site parameter summaries iterated to a fixpoint;
 * :mod:`.rules` / :mod:`.protocol` — the RG100-series rule family built
   on top of those facts;
+* :mod:`.shapes` — a second abstract domain over the same project/CFG
+  infrastructure: array shape, dtype, and leading-client-axis tracking
+  (the RG200-series rules paving the batched multi-client engine);
 * :mod:`.engine` — the driver: build the project, run the rules, cache
   results keyed on source content hashes.
 
@@ -22,11 +25,21 @@ so both route through the same reporting pipeline
 (:mod:`repro.analysis.reporting`).
 """
 
-from .engine import FLOW_RULES, FLOW_RULE_DESCRIPTIONS, analyze_paths, analyze_source
+from .engine import (
+    ENGINE_RULES,
+    FLOW_RULES,
+    FLOW_RULE_DESCRIPTIONS,
+    analyze_paths,
+    analyze_source,
+)
+from .shapes import SHAPE_RULES, SHAPE_RULE_DESCRIPTIONS
 
 __all__ = [
+    "ENGINE_RULES",
     "FLOW_RULES",
     "FLOW_RULE_DESCRIPTIONS",
+    "SHAPE_RULES",
+    "SHAPE_RULE_DESCRIPTIONS",
     "analyze_paths",
     "analyze_source",
 ]

@@ -54,16 +54,20 @@ from .dataflow import (
 from .project import ModuleInfo, Project, collect_files, load_project, load_source
 from .protocol import check_rg103, check_rg104
 from .rules import check_rg101, check_rg102, check_rg105
+from .shapes import SHAPE_RULES, analyze_shapes_project
 
 __all__ = [
     "FLOW_RULES",
     "FLOW_RULE_DESCRIPTIONS",
+    "ENGINE_RULES",
     "analyze_project",
     "analyze_paths",
     "analyze_source",
 ]
 
-ENGINE_VERSION = 1
+# v2: the RG200 shape/dtype/client-axis domain joined the engine; bumping
+# the version invalidates result-cache entries written by v1.
+ENGINE_VERSION = 2
 MAX_ROUNDS = 8
 
 FLOW_RULE_DESCRIPTIONS = {
@@ -77,6 +81,10 @@ FLOW_RULE_DESCRIPTIONS = {
 # RG100 is minted by the reporting pipeline (it needs the suppression
 # table, not dataflow facts), so it is not a runnable engine rule.
 FLOW_RULES = frozenset(FLOW_RULE_DESCRIPTIONS) - {"RG100"}
+
+# Everything the engine can run: the RNG/order/protocol family plus the
+# RG200 shape/dtype/client-axis family from :mod:`.shapes`.
+ENGINE_RULES = FLOW_RULES | SHAPE_RULES
 
 
 @dataclass
@@ -203,11 +211,24 @@ def _global_envs(project: Project) -> dict[str, Env]:
 def analyze_project(
     project: Project, rules: Iterable[str] | None = None
 ) -> list[Finding]:
-    """Run the full flow analysis over a loaded project."""
-    active = FLOW_RULES if rules is None else {r.upper() for r in rules} & FLOW_RULES
-    if not active:
-        return []
+    """Run the full engine (flow + shape domains) over a loaded project."""
+    active = (
+        ENGINE_RULES if rules is None
+        else {r.upper() for r in rules} & ENGINE_RULES
+    )
+    findings: list[Finding] = []
+    if active & FLOW_RULES:
+        findings.extend(_analyze_flow_domain(project, active & FLOW_RULES))
+    if active & SHAPE_RULES:
+        findings.extend(analyze_shapes_project(project, active & SHAPE_RULES))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
 
+
+def _analyze_flow_domain(
+    project: Project, active: set[str]
+) -> list[Finding]:
+    """The RNG-provenance/order/protocol domain (RG101–RG105)."""
     globals_by_module = _global_envs(project)
     records = _project_records(project)
     by_node = {id(r.func): r for r in records if r.qualname != "<module>"}
@@ -304,9 +325,9 @@ def analyze_paths(
     cache_dir: pathlib.Path | str | None = None,
 ) -> list[Finding]:
     """Analyze every ``.py`` file under ``paths`` as one program."""
-    active = FLOW_RULES if rules is None else frozenset(
+    active = ENGINE_RULES if rules is None else frozenset(
         {r.upper() for r in rules}
-    ) & FLOW_RULES
+    ) & ENGINE_RULES
     files = collect_files(paths)
 
     cache_file = None

@@ -1,8 +1,8 @@
 """Reporting pipeline shared by the lint and flow passes.
 
-Every static finding (RG001–RG007 from :mod:`.lint`, RG101–RG105 from
-:mod:`.flow`) flows through the same post-processing before anything is
-printed or an exit code decided:
+Every static finding (RG001–RG007 from :mod:`.lint`, RG101–RG105 and
+RG201–RG205 from :mod:`.flow`) flows through the same post-processing
+before anything is printed or an exit code decided:
 
 1. **dedup** — one finding per ``(path, line, rule)``; overlapping passes
    (or the same fact reached twice interprocedurally) never double-report.
@@ -109,13 +109,21 @@ def _scan_suppressions(path: str, source: str) -> list[Suppression]:
 
 
 def apply_suppressions(
-    findings: Sequence[Finding], sources: Mapping[str, str]
+    findings: Sequence[Finding],
+    sources: Mapping[str, str],
+    active_rules: Iterable[str] | None = None,
 ) -> list[Finding]:
     """Filter suppressed findings; report unused suppressions as RG100.
 
     ``sources`` maps finding paths to file contents (files absent from the
     map keep their findings and cannot suppress — the caller decides what
     was actually analyzed).
+
+    ``active_rules`` is the set of rules that actually ran. A suppression
+    whose codes are all *inactive* (e.g. ``noqa[RG204]`` on a run with the
+    shapes pass skipped) is neither used nor stale — flagging it as RG100
+    would punish partial runs for markers a full run needs. ``None`` means
+    every rule ran (the historical behaviour).
     """
     suppressions: dict[tuple[str, int], Suppression] = {}
     for path, source in sources.items():
@@ -131,9 +139,12 @@ def apply_suppressions(
         else:
             kept.append(f)
 
+    active = None if active_rules is None else {r.upper() for r in active_rules}
     for key, sup in sorted(suppressions.items()):
         if key in used:
             continue
+        if active is not None and sup.codes and not (sup.codes & active):
+            continue  # suppresses only rules that didn't run this time
         codes = ",".join(sorted(sup.codes)) or "<empty>"
         kept.append(
             Finding(
@@ -199,22 +210,35 @@ def write_baseline(
     findings: Sequence[Finding],
     sources: Mapping[str, str],
     path: pathlib.Path | str,
+    preserved: Sequence[dict] = (),
 ) -> None:
+    """Record ``findings`` as the accepted baseline.
+
+    ``preserved`` carries existing entries that must survive the rewrite —
+    the CLI passes the entries owned by passes that did *not* run, so
+    ``repro analyze --passes lint --write-baseline`` updates only the lint
+    entries instead of clobbering the flow/shape ones.
+    """
+    fresh = [
+        {
+            "fingerprint": finding_fingerprint(f, sources),
+            "rule": f.rule,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f in dedup(findings)
+    ]
+    fresh_prints = {e["fingerprint"] for e in fresh}
+    merged = [e for e in preserved if e.get("fingerprint") not in fresh_prints]
+    merged.extend(fresh)
+    merged.sort(key=lambda e: (e.get("path", ""), e.get("rule", ""), e["fingerprint"]))
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "comment": (
             "Accepted findings. Entries match on (rule, path, flagged line "
             "content); regenerate with `repro analyze --write-baseline`."
         ),
-        "findings": [
-            {
-                "fingerprint": finding_fingerprint(f, sources),
-                "rule": f.rule,
-                "path": f.path,
-                "message": f.message,
-            }
-            for f in dedup(findings)
-        ],
+        "findings": merged,
     }
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 

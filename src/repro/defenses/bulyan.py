@@ -69,7 +69,8 @@ class Bulyan(Strategy):
             agg = chosen.mean(axis=0)
 
         accepted = [updates[i].client_id for i in selected]
-        rejected = [u.client_id for u in updates if u.client_id not in set(accepted)]
+        accepted_set = set(accepted)
+        rejected = [u.client_id for u in updates if u.client_id not in accepted_set]
         return AggregationResult(
             weights=agg,
             accepted_ids=sorted(accepted),

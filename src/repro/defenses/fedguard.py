@@ -146,7 +146,7 @@ class FedGuard(Strategy):
 
         features = []
         all_labels = []
-        for update in sources:
+        for update in sources:  # repro: noqa[RG204]
             nn.vector_to_parameters(update.decoder_weights, decoder)
             decoder_labels = labels
             if self.class_aware and update.decoder_classes is not None:
@@ -186,8 +186,8 @@ class FedGuard(Strategy):
         assert synth_x.shape[0] == synth_y.size
 
         classifier = context.make_classifier()
-        accuracies = np.empty(len(updates))
-        for i, update in enumerate(updates):
+        accuracies = np.empty(len(updates), dtype=np.float64)
+        for i, update in enumerate(updates):  # repro: noqa[RG204]
             nn.vector_to_parameters(update.weights, classifier)
             preds = classifier.predict(synth_x)
             assert preds.shape == synth_y.shape  # whole-batch predict, not per-sample

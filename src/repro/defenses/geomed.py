@@ -37,7 +37,11 @@ def geometric_median(
     n = points.shape[0]
     if n == 1:
         return points[0].copy()
-    w = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+    w = (
+        np.ones(n, dtype=np.float64)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
     if w.shape != (n,) or (w < 0).any() or w.sum() == 0:
         raise ValueError("weights must be non-negative with positive sum")
 

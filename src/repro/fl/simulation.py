@@ -178,7 +178,9 @@ def build_federation(
         make_decoder=make_decoder,
         num_classes=config.model.num_classes,
         t_samples=config.t_samples,
-        class_probs=np.full(config.model.num_classes, 1.0 / config.model.num_classes),
+        class_probs=np.full(
+            config.model.num_classes, 1.0 / config.model.num_classes, dtype=np.float64
+        ),
         rng=context_rng,
         auxiliary_dataset=auxiliary,
     )
@@ -238,7 +240,7 @@ def federation_state(server: Server, history) -> dict:
     client_ids = [client.client_id for client in server.clients]
     harvested = server.backend.client_states(client_ids)
     client_states: dict[int, dict] = {}
-    for client in server.clients:
+    for client in server.clients:  # repro: noqa[RG204]
         if harvested is not None and client.client_id in harvested:
             client_states[client.client_id] = harvested[client.client_id]
         else:
@@ -304,7 +306,7 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
     server.rng.bit_generator.state = state["server_rng"]
     server.context.rng.bit_generator.state = state["context_rng"]
     server._setup_done = state["setup_done"]
-    for client in server.clients:
+    for client in server.clients:  # repro: noqa[RG204]
         client.load_state_dict(state["clients"][client.client_id])
     return server, history
 

@@ -23,7 +23,7 @@ import functools
 
 import numpy as np
 
-from ..analysis.contracts import array_contract
+from ..analysis.contracts import array_contract, client_batched
 
 __all__ = [
     "im2col_indices",
@@ -178,12 +178,14 @@ def col2im(
     return x_padded[:, :, padding:-padding, padding:-padding]
 
 
+@client_batched
 @array_contract(x={"dtype": "numeric"})
 def relu(x: np.ndarray) -> np.ndarray:
     """Elementwise rectified linear unit."""
     return np.maximum(x, 0.0)
 
 
+@client_batched
 @array_contract(x={"dtype": "floating"})
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable elementwise logistic sigmoid.
@@ -203,6 +205,7 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
+@client_batched
 @array_contract(x={"min_ndim": 1, "dtype": "floating"})
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
@@ -211,6 +214,7 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return e / np.sum(e, axis=axis, keepdims=True)
 
 
+@client_batched
 @array_contract(x={"min_ndim": 1, "dtype": "floating"})
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable log-softmax along ``axis``."""
@@ -218,6 +222,7 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
+@client_batched
 @array_contract(labels={"dtype": "integer"})
 def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
     """Encode integer ``labels`` of shape (N,) as a (N, num_classes) matrix."""

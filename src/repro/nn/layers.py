@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import client_batched
 from . import functional as F
 from . import init
 from .module import Module, Parameter
@@ -42,6 +43,7 @@ class Linear(Module):
             self.bias = Parameter(init.uniform_fan_in((out_features,), in_features, rng))
         self._cache_input: np.ndarray | None = None
 
+    @client_batched
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2:
             raise ValueError(f"Linear expects (N, {self.in_features}), got shape {x.shape}")
@@ -167,6 +169,7 @@ class Flatten(Module):
         super().__init__()
         self._shape: tuple[int, ...] | None = None
 
+    @client_batched
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
@@ -188,6 +191,7 @@ class Dropout(Module):
         self.rng = rng if rng is not None else np.random.default_rng()
         self._mask: np.ndarray | None = None
 
+    @client_batched
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None

@@ -1,0 +1,24 @@
+"""Bad twin: statically incompatible array shapes (RG201).
+
+Every allocator pins its dtype so this fixture exercises RG201 alone.
+"""
+
+import numpy as np
+
+
+def mismatched_broadcast():
+    a = np.zeros((3, 4), dtype=np.float64)
+    b = np.zeros((5,), dtype=np.float64)
+    return a + b  # expect: RG201
+
+
+def mismatched_matmul():
+    w = np.ones((3, 4), dtype=np.float64)
+    h = np.ones((3, 4), dtype=np.float64)
+    return w @ h  # expect: RG201
+
+
+def mismatched_concatenate():
+    x = np.zeros((2, 3), dtype=np.float64)
+    y = np.zeros((2, 4), dtype=np.float64)
+    return np.concatenate([x, y], axis=0)  # expect: RG201

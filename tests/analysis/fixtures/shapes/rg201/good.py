@@ -1,0 +1,21 @@
+"""Good twin: the same operations with compatible shapes."""
+
+import numpy as np
+
+
+def ok_broadcast():
+    a = np.zeros((3, 4), dtype=np.float64)
+    b = np.zeros((4,), dtype=np.float64)
+    return a + b
+
+
+def ok_matmul():
+    w = np.ones((3, 4), dtype=np.float64)
+    h = np.ones((4, 2), dtype=np.float64)
+    return w @ h
+
+
+def ok_concatenate():
+    x = np.zeros((2, 3), dtype=np.float64)
+    y = np.zeros((5, 3), dtype=np.float64)
+    return np.concatenate([x, y], axis=0)

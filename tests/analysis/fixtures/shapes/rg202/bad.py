@@ -1,0 +1,23 @@
+"""Bad twin: silent dtype drift in hot-path code (RG202).
+
+Two flavors: allocators that rely on NumPy's implicit default dtype,
+and arithmetic mixing float32 with float64 (silently widens).
+"""
+
+import numpy as np
+
+
+def implicit_alloc(n):
+    acc = np.zeros(n)  # expect: RG202
+    return acc
+
+
+def implicit_full(n):
+    probs = np.full(n, 0.1)  # expect: RG202
+    return probs
+
+
+def mixed_widening():
+    a = np.zeros((4,), dtype=np.float32)
+    b = np.zeros((4,), dtype=np.float64)
+    return a + b  # expect: RG202

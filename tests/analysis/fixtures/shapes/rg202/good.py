@@ -1,0 +1,19 @@
+"""Good twin: explicit dtypes everywhere; no mixed-precision arithmetic."""
+
+import numpy as np
+
+
+def explicit_alloc(n):
+    acc = np.zeros(n, dtype=np.float64)
+    return acc
+
+
+def explicit_full(n):
+    probs = np.full(n, 0.1, dtype=np.float64)
+    return probs
+
+
+def consistent_arith():
+    a = np.zeros((4,), dtype=np.float64)
+    b = np.zeros((4,), dtype=np.float64)
+    return a + b

@@ -1,0 +1,20 @@
+"""Bad twin: hidden copies on the per-client hot path (RG203).
+
+Comprehensions (not ``for`` statements) keep this fixture out of
+RG204's scan; explicit dtypes keep it out of RG202's.
+"""
+
+import numpy as np
+
+
+def rejected_ids(updates, accepted):
+    return [u for u in updates if u not in set(accepted)]  # expect: RG203
+
+
+def defensive_copies(updates, transform):
+    return [transform(u.copy()) for u in updates]  # expect: RG203
+
+
+def gather_matmul(weights, basis):
+    idx = np.asarray([0, 2, 3], dtype=np.int64)
+    return weights[idx] @ basis  # expect: RG203

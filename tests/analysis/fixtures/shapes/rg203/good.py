@@ -1,0 +1,20 @@
+"""Good twin: the membership set is hoisted, the redundant copy is
+dropped (the consumer is read-only), and the gather is materialized
+once outside the matmul."""
+
+import numpy as np
+
+
+def rejected_ids(updates, accepted):
+    accepted_set = set(accepted)
+    return [u for u in updates if u not in accepted_set]
+
+
+def read_only_consumers(updates, transform):
+    return [transform(u) for u in updates]
+
+
+def gather_matmul(weights, basis):
+    idx = np.asarray([0, 2, 3], dtype=np.int64)
+    rows = weights[idx]
+    return rows @ basis

@@ -1,0 +1,19 @@
+"""Bad twin: Python-level per-client loops in round logic (RG204).
+
+These are exactly the loops the batched multi-client engine folds into
+array ops; the rule is the migration tracker.
+"""
+
+
+def score_clients(updates, classifier):
+    scores = []
+    for update in updates:  # expect: RG204
+        scores.append(classifier.evaluate(update))
+    return scores
+
+
+def fit_round(clients, weights):
+    results = []
+    for client in clients:  # expect: RG204
+        results.append(client.fit(weights))
+    return results

@@ -1,0 +1,13 @@
+"""Good twin: the per-client work is one batched array operation over a
+stacked (n_clients, dim) matrix — no Python-level loop remains."""
+
+import numpy as np
+
+
+def score_clients(update_matrix, class_weights):
+    logits = update_matrix @ class_weights
+    return logits.argmax(axis=1)
+
+
+def fit_round(update_matrix, global_weights):
+    return np.mean(update_matrix - global_weights, axis=0, keepdims=True)

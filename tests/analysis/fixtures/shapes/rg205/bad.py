@@ -1,0 +1,16 @@
+"""Bad twin: ``@client_batched`` functions whose returns provably drop
+the leading client axis (RG205)."""
+
+import numpy as np
+
+from repro.analysis.contracts import client_batched
+
+
+@client_batched
+def mean_update(updates):
+    return updates.mean(axis=0)  # expect: RG205
+
+
+@client_batched
+def flatten_all(x):
+    return x.ravel()  # expect: RG205

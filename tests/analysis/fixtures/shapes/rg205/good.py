@@ -1,0 +1,16 @@
+"""Good twin: every return preserves the leading client axis — axis-0
+reductions keep dims, reshapes pin the leading dimension."""
+
+import numpy as np
+
+from repro.analysis.contracts import client_batched
+
+
+@client_batched
+def normalize(x):
+    return x / x.sum(axis=1, keepdims=True)
+
+
+@client_batched
+def flatten_per_client(x):
+    return x.reshape(x.shape[0], -1)

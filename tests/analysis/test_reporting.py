@@ -61,6 +61,21 @@ class TestSuppressions:
         out = reporting.apply_suppressions([], {"m.py": source})
         assert out == []
 
+    def test_inactive_rule_suppression_is_not_stale(self):
+        # A `noqa[RG204]` marker on a run where the shapes pass was
+        # skipped is neither used nor stale: flagging it as RG100 would
+        # punish partial runs for markers a full run needs.
+        source = "for u in updates:  # repro: noqa[RG204]\n    u.fit()\n"
+        out = reporting.apply_suppressions(
+            [], {"m.py": source}, active_rules={"RG101", "RG105"}
+        )
+        assert out == []
+        # The same marker on a run that *did* execute RG204 is stale.
+        out = reporting.apply_suppressions(
+            [], {"m.py": source}, active_rules={"RG204"}
+        )
+        assert [o.rule for o in out] == ["RG100"]
+
 
 class TestBaseline:
     def test_round_trip_filters_accepted_findings(self, tmp_path):
@@ -98,6 +113,26 @@ class TestBaseline:
         baseline = reporting.load_baseline(tmp_path / "nope.json")
         f = _finding()
         assert reporting.apply_baseline([f], baseline, {}) == [f]
+
+    def test_preserved_entries_survive_rewrite(self, tmp_path):
+        source = "a = 1\nb = unseeded()\n"
+        baseline_path = tmp_path / "baseline.json"
+        flow = _finding(rule="RG101", line=2)
+        shape = _finding(rule="RG202", line=1)
+        reporting.write_baseline([flow, shape], {"m.py": source}, baseline_path)
+        kept = [
+            e for e in reporting.load_baseline(baseline_path).entries.values()
+            if e["rule"] == "RG202"
+        ]
+        # A partial rewrite (only the flow finding re-observed) carries
+        # the shape entry forward instead of clobbering it.
+        reporting.write_baseline(
+            [flow], {"m.py": source}, baseline_path, preserved=kept
+        )
+        baseline = reporting.load_baseline(baseline_path)
+        assert {e["rule"] for e in baseline.entries.values()} == {
+            "RG101", "RG202",
+        }
 
 
 class TestFormats:
@@ -198,6 +233,61 @@ class TestCliExitCodes:
         doc = json.loads(out.read_text())
         assert doc["version"] == "2.1.0"
         assert doc["runs"][0]["results"]
+
+
+class TestPassSelection:
+    def _clean_file(self, tmp_path):
+        p = tmp_path / "clean.py"
+        p.write_text("x = 1\n")
+        return p
+
+    def test_unknown_pass_is_a_usage_error(self, tmp_path, capsys):
+        path = self._clean_file(tmp_path)
+        assert main(["--passes", "shape", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown pass(es): shape" in err
+        assert "lint, flow, shapes, gradcheck, contracts" in err
+
+    def test_passes_selects_positively(self, tmp_path, capsys):
+        # A shapes-only run on an un-dtyped hot-path allocator fires
+        # RG202 but not the lint rules.
+        target = tmp_path / "fl" / "m.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\nX = np.zeros(3)\nY = np.random.rand(3)\n"
+        )
+        assert main(["--passes", "shapes", "--no-cache", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RG202" in out and "RG001" not in out
+
+    def test_skip_still_subtracts(self, tmp_path, capsys):
+        target = tmp_path / "fl" / "m.py"
+        target.parent.mkdir()
+        target.write_text("import numpy as np\nX = np.zeros(3)\n")
+        argv = ["--passes", "shapes", "--skip", "shapes", "--no-cache",
+                str(target)]
+        assert main(argv) == 0
+
+    def test_partial_write_baseline_preserves_other_passes(self, tmp_path, capsys):
+        # One file with both a lint finding (RG001) and a shape finding
+        # (RG202); baselining passes separately must not clobber.
+        target = tmp_path / "fl" / "m.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\nX = np.zeros(3)\nY = np.random.rand(3)\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        base = ["--no-cache", "--baseline", str(baseline), str(target)]
+        assert main(["--passes", "shapes", "--write-baseline"] + base) == 0
+        assert main(["--passes", "lint", "--write-baseline"] + base) == 0
+        rules = {
+            e["rule"]
+            for e in json.loads(baseline.read_text())["findings"]
+        }
+        assert rules == {"RG001", "RG202"}
+        # With both entries accepted, the full static run is clean.
+        capsys.readouterr()
+        assert main(_STATIC + base) == 0
 
 
 class TestPerDirectoryScoping:
