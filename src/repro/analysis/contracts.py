@@ -54,6 +54,7 @@ __all__ = [
     "aggregate_contract",
     "verify_aggregate",
     "client_batched",
+    "loop_fallback",
     "record_shapes",
     "shape_recording_enabled",
     "shape_observations",
@@ -346,6 +347,23 @@ def client_batched(func: Callable) -> Callable:
     if not shape_recording_enabled():
         return func
     return record_shapes(func)
+
+
+def loop_fallback(func: Callable) -> Callable:
+    """Declare an *audited, intentional* per-client Python loop.
+
+    The RG204 migration work-list drove every hot-path client loop into
+    the batched engine; what remains is either the loop engine itself
+    (the semantic reference the batched engine is bit-compared against)
+    or order-sensitive per-client bookkeeping that is not a hot path
+    (stream ingestion, attack finalization). Marking such a function with
+    this decorator exempts its body from RG204 — the marker is greppable,
+    reviewed like a ``noqa``, and documented in ``docs/static_analysis.md``.
+
+    Runtime no-op: returns the original function with a tag attribute.
+    """
+    func.__repro_loop_fallback__ = True
+    return func
 
 
 def shape_observations() -> list[ShapeObservation]:

@@ -977,8 +977,7 @@ class ShapeFunctionResult:
     return_value: ArrayVal = ArrayVal.BOTTOM
 
 
-def is_client_batched(func: ast.AST) -> bool:
-    """Does this function carry a ``@client_batched`` decorator?"""
+def _has_decorator(func: ast.AST, decorator_name: str) -> bool:
     for dec in getattr(func, "decorator_list", []):
         target = dec.func if isinstance(dec, ast.Call) else dec
         name = (
@@ -986,9 +985,25 @@ def is_client_batched(func: ast.AST) -> bool:
             else target.id if isinstance(target, ast.Name)
             else ""
         )
-        if name == "client_batched":
+        if name == decorator_name:
             return True
     return False
+
+
+def is_client_batched(func: ast.AST) -> bool:
+    """Does this function carry a ``@client_batched`` decorator?"""
+    return _has_decorator(func, "client_batched")
+
+
+def is_loop_fallback(func: ast.AST) -> bool:
+    """Does this function carry a ``@loop_fallback`` decorator?
+
+    The decorator (:func:`repro.analysis.contracts.loop_fallback`) marks an
+    audited, intentional per-client loop — the loop engine that serves as
+    the batched engine's bit-equivalence reference, or order-sensitive
+    per-client bookkeeping off the hot path. RG204 skips such functions.
+    """
+    return _has_decorator(func, "loop_fallback")
 
 
 class ShapeFunctionAnalysis:
@@ -1281,8 +1296,15 @@ def scan_rg203(func: ast.AST, is_module: bool = False) -> list[ShapeIssue]:
 
 def scan_rg204(func: ast.AST, is_module: bool = False) -> list[ShapeIssue]:
     """Python-level ``for`` over a client collection with calls in the
-    body — the work-list for the batched multi-client engine."""
+    body — the work-list for the batched multi-client engine.
+
+    Functions marked ``@loop_fallback`` are exempt: they are the audited
+    terminal state of the migration (the reference loop engine and
+    order-sensitive non-hot bookkeeping), not remaining work.
+    """
     issues: list[ShapeIssue] = []
+    if not is_module and is_loop_fallback(func):
+        return issues
     for node in _scan_nodes(func, is_module):
         if not isinstance(node, (ast.For, ast.AsyncFor)):
             continue

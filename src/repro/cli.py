@@ -84,6 +84,11 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                              "'process' = worker-resident pool)")
     parser.add_argument("--workers", type=int, default=None,
                         help="process backend: worker count (default: cpu count)")
+    parser.add_argument("--engine", choices=["loop", "batched"], default=None,
+                        help="local-training engine (default: loop; 'batched' "
+                             "stacks all sampled clients into one leading-axis "
+                             "pass — bit-identical histories, fewer Python "
+                             "dispatches)")
     parser.add_argument("--retries", type=int, default=None,
                         help="re-send attempts after a failed broadcast/submit "
                              "(default: 0 — a drop is final)")
@@ -129,6 +134,8 @@ def _config_from_args(args) -> FederationConfig:
     if getattr(args, "workers", None) is not None:
         overrides["backend_workers"] = args.workers
         overrides.setdefault("backend", "process")
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
     if getattr(args, "retries", None) is not None:
         overrides["retries"] = args.retries
     if getattr(args, "backoff", None) is not None:

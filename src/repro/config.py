@@ -117,6 +117,11 @@ class FederationConfig:
     backend: str = "sequential"         # "sequential" | "process" | "process_legacy"
     backend_workers: int = 0            # worker processes (0 = cpu count)
 
+    # local-training engine (repro.fl.batched; "batched" stacks all sampled
+    # clients into one leading-axis pass — bit-identical results, fewer
+    # Python-loop dispatches)
+    engine: str = "loop"                # "loop" | "batched"
+
     # round-level recovery (repro.fl.faults / server phases; every knob
     # defaults OFF so lossless runs stay byte-identical to the seed loop)
     retries: int = 0                    # re-send attempts after a failed broadcast/submit
@@ -160,6 +165,10 @@ class FederationConfig:
         if self.backend_workers < 0:
             raise ValueError(
                 f"backend_workers must be >= 0, got {self.backend_workers}"
+            )
+        if self.engine not in ("loop", "batched"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of ('loop', 'batched')"
             )
         for name in ("retries", "checkpoint_every"):
             if getattr(self, name) < 0:

@@ -23,7 +23,21 @@ Design knobs beyond the paper's defaults, all called out in its
   uniform Cat(L, 1/L);
 * ``inner_aggregator`` — the internal aggregation operator applied to the
   accepted updates (future-work §VI-C suggests GeoMed/FedProx here);
+* ``cache_synthesis`` — freeze the validation seed ``([z_t], [y_t])`` at
+  its first draw and cache each decoder's synthesized samples per
+  :attr:`~repro.fl.updates.ClientUpdate.decoder_version`. Decoders are
+  trained once (paper footnote 5), so from round 2 on the whole synthesis
+  step is a cache lookup (surfaced as ``audit_cache_hits``); a decoder
+  retrain (dynamic-data CVAE refresh) bumps its version and re-synthesizes
+  from the same frozen seed. ``False`` restores Alg. 1's literal
+  fresh-per-round sampling;
 * the server learning rate lives in the *server* (Fig. 5), not here.
+
+Both the multi-decoder synthesis and the per-update audit run as single
+client-batched passes (:func:`repro.nn.stack_parameters`): all decoders
+decode the shared latents in one stacked forward, and all submitted
+classifiers score the validation set in one stacked predict — bit-identical
+to the per-update loops they replace.
 """
 
 from __future__ import annotations
@@ -70,6 +84,13 @@ class FedGuard(Strategy):
         advertise the classes their CVAE was trained on, and the server
         conditions each decoder only on classes it actually knows. Off by
         default (the paper's evaluated configuration).
+    cache_synthesis:
+        Freeze the validation seed ``(z, y)`` at its first draw and reuse
+        each decoder's synthesized samples while its
+        ``decoder_version`` is unchanged (default). Cached samples are
+        bit-identical to re-synthesizing from the frozen seed, so cached
+        and uncached audits score identically; set False for Alg. 1's
+        literal fresh-per-round sampling.
     """
 
     name = "fedguard"
@@ -83,6 +104,7 @@ class FedGuard(Strategy):
         inner_aggregator: Callable[[list[ClientUpdate]], np.ndarray] | None = None,
         balanced: bool = True,
         class_aware: bool = False,
+        cache_synthesis: bool = True,
     ) -> None:
         if samples_per_decoder is not None and samples_per_decoder <= 0:
             raise ValueError(
@@ -100,12 +122,18 @@ class FedGuard(Strategy):
         self.inner_aggregator = inner_aggregator or weighted_average
         self.balanced = balanced
         self.class_aware = class_aware
+        self.cache_synthesis = cache_synthesis
+        # Frozen validation seed (z, y) and per-client synthesized samples,
+        # keyed by client id → (decoder_version, features, labels). Both
+        # travel with the pickled strategy, so checkpoint/resume replays
+        # the same validation set.
+        self._frozen_seed: tuple[np.ndarray, np.ndarray] | None = None
+        self._sample_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+        self.last_cache_hits = 0
 
-    # -- Alg. 1 lines 2-4: controllable synthesis ---------------------------
-    def synthesize(
-        self, updates: list[ClientUpdate], context: ServerContext
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Build the round's synthetic validation set (features, labels)."""
+    # -- Alg. 1 lines 2-3: the validation seed -------------------------------
+    def _draw_seed(self, context: ServerContext) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the shared latents ``[z_t]`` and conditioning labels ``[y_t]``."""
         rng = context.rng
         t = (
             self.samples_per_decoder
@@ -129,10 +157,70 @@ class FedGuard(Strategy):
             rng.shuffle(labels)
         else:
             labels = rng.choice(context.num_classes, size=t, p=context.class_probs)
+        z = rng.standard_normal((t, context.make_decoder().latent_dim))
+        return z, labels
 
+    def _decoder_labels(
+        self, update: ClientUpdate, labels: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-decoder conditioning labels (identical y unless class-aware)."""
+        if self.class_aware and update.decoder_classes is not None:
+            # §VI-B: only ask this decoder for classes it was trained on.
+            # Labels outside its coverage are remapped onto its known
+            # classes, preserving the per-decoder sample count.
+            known = np.asarray(update.decoder_classes)
+            if known.size and not np.isin(labels, known).all():
+                return np.where(
+                    np.isin(labels, known),
+                    labels,
+                    known[rng.integers(0, known.size, size=labels.size)],
+                )
+        return labels
+
+    def _synthesize_stacked(
+        self, sources: list[ClientUpdate], z: np.ndarray,
+        labels: np.ndarray, context: ServerContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode the shared z through every source decoder in one pass.
+
+        Returns ``(features, labels)`` of shapes ``(K, t, image_dim)`` and
+        ``(K, t)`` — each slice bit-identical to that decoder's own 2-D
+        ``generate(labels, rng, z=z)``.
+        """
         decoder = context.make_decoder()
-        latent_dim = decoder.latent_dim
-        z = rng.standard_normal((t, latent_dim))
+        per_decoder = np.stack(
+            [self._decoder_labels(u, labels, context.rng) for u in sources]
+        )
+        nn.stack_parameters(
+            np.stack([u.decoder_weights for u in sources]), decoder
+        )
+        # Every decoder gets the identical z (and, unless remapped, the
+        # identical y) — the map() of Alg. 1 line 4 — so clients are
+        # audited on comparable samples.
+        out = decoder(
+            np.broadcast_to(z, (len(sources),) + z.shape),
+            nn.functional.one_hot(per_decoder, decoder.num_classes),
+        )
+        image_dim = (
+            decoder.out_dim - decoder.num_classes
+            if decoder.out_dim > decoder.num_classes
+            else decoder.out_dim
+        )
+        return out[..., :image_dim], per_decoder
+
+    # -- Alg. 1 lines 2-4: controllable synthesis ---------------------------
+    def synthesize(
+        self, updates: list[ClientUpdate], context: ServerContext
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Build the round's synthetic validation set (features, labels)."""
+        rng = context.rng
+        self.last_cache_hits = 0
+        if self.cache_synthesis:
+            if self._frozen_seed is None:
+                self._frozen_seed = self._draw_seed(context)
+            z, labels = self._frozen_seed
+        else:
+            z, labels = self._draw_seed(context)
 
         sources = [u for u in updates if u.decoder_weights is not None]
         if not sources:
@@ -144,28 +232,27 @@ class FedGuard(Strategy):
             chosen = rng.choice(len(sources), size=self.decoder_subset, replace=False)
             sources = [sources[i] for i in chosen]
 
-        features = []
-        all_labels = []
-        for update in sources:  # repro: noqa[RG204]
-            nn.vector_to_parameters(update.decoder_weights, decoder)
-            decoder_labels = labels
-            if self.class_aware and update.decoder_classes is not None:
-                # §VI-B: only ask this decoder for classes it was trained
-                # on. Labels outside its coverage are remapped onto its
-                # known classes, preserving the per-decoder sample count.
-                known = np.asarray(update.decoder_classes)
-                if known.size and not np.isin(labels, known).all():
-                    decoder_labels = np.where(
-                        np.isin(labels, known),
-                        labels,
-                        known[rng.integers(0, known.size, size=labels.size)],
-                    )
-            # Every decoder gets the identical z (and, unless remapped, the
-            # identical y) — the map() of Alg. 1 line 4 — so clients are
-            # audited on comparable samples.
-            features.append(decoder.generate(decoder_labels, rng, z=z))
-            all_labels.append(decoder_labels)
-        return np.concatenate(features), np.concatenate(all_labels)
+        cache = self._sample_cache
+        if self.cache_synthesis:
+            missing = [
+                u for u in sources
+                if cache.get(u.client_id, (None,))[0] != u.decoder_version
+            ]
+            self.last_cache_hits = len(sources) - len(missing)
+        else:
+            cache = {}
+            missing = sources
+        if missing:
+            fresh_x, fresh_y = self._synthesize_stacked(missing, z, labels, context)
+            for i, update in enumerate(missing):
+                cache[update.client_id] = (
+                    update.decoder_version, fresh_x[i], fresh_y[i]
+                )
+        entries = [cache[u.client_id] for u in sources]
+        return (
+            np.concatenate([entry[1] for entry in entries]),
+            np.concatenate([entry[2] for entry in entries]),
+        )
 
     # -- Alg. 1 lines 5-7: score and select ------------------------------------
     @aggregate_contract
@@ -178,20 +265,20 @@ class FedGuard(Strategy):
     ) -> AggregationResult:
         audit_t0 = time.perf_counter()
         synth_x, synth_y = self.synthesize(updates, context)
-        # One C-contiguous validation batch, one classifier shell, one
-        # predict() per update — the audit must stay a handful of BLAS
-        # calls, never a per-sample Python loop.
+        # One C-contiguous validation batch, one stacked classifier, one
+        # batched predict for ALL submissions — the audit must stay a
+        # handful of BLAS calls, never a per-update Python loop.
         synth_x = np.ascontiguousarray(synth_x)
         assert synth_x.flags["C_CONTIGUOUS"]
         assert synth_x.shape[0] == synth_y.size
 
         classifier = context.make_classifier()
-        accuracies = np.empty(len(updates), dtype=np.float64)
-        for i, update in enumerate(updates):  # repro: noqa[RG204]
-            nn.vector_to_parameters(update.weights, classifier)
-            preds = classifier.predict(synth_x)
-            assert preds.shape == synth_y.shape  # whole-batch predict, not per-sample
-            accuracies[i] = np.mean(preds == synth_y)
+        nn.stack_parameters(np.stack([u.weights for u in updates]), classifier)
+        preds = classifier.predict(synth_x)
+        assert preds.shape == (len(updates), synth_y.size)  # one row per update
+        # Row-contiguous mean: each row equals that update's scalar
+        # np.mean(preds_i == synth_y).
+        accuracies = (preds == synth_y[None, :]).mean(axis=1)
         audit_time_s = time.perf_counter() - audit_t0
 
         mean_acc = accuracies.mean()
@@ -210,6 +297,7 @@ class FedGuard(Strategy):
                 "audit_acc_mean": float(mean_acc),
                 "audit_acc_min": float(accuracies.min()),
                 "audit_acc_max": float(accuracies.max()),
+                "audit_cache_hits": self.last_cache_hits,
                 "audit_time_s": audit_time_s,
             },
         )

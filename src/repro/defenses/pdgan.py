@@ -114,12 +114,12 @@ class PDGAN(Strategy):
         synth = self._gan.generate(self.samples, context.rng)
 
         # Majority-vote labels: the generator cannot tell the server what
-        # class it drew, so the round's classifiers vote.
+        # class it drew, so the round's classifiers vote — one stacked
+        # predict over all submissions (bit-identical to per-update loops).
         classifier = context.make_classifier()
-        all_preds = np.empty((len(updates), self.samples), dtype=np.int64)
-        for i, update in enumerate(updates):  # repro: noqa[RG204]
-            nn.vector_to_parameters(update.weights, classifier)
-            all_preds[i] = classifier.predict(synth)
+        nn.stack_parameters(np.stack([u.weights for u in updates]), classifier)
+        all_preds = classifier.predict(np.ascontiguousarray(synth))
+        assert all_preds.shape == (len(updates), self.samples)
         votes = np.apply_along_axis(
             lambda col: np.bincount(col, minlength=context.num_classes).argmax(),
             0,

@@ -24,12 +24,16 @@ __all__ = ["cosine_matrix", "RoundGeometry", "round_geometry"]
 def cosine_matrix(matrix: np.ndarray) -> np.ndarray:
     """Pairwise cosine similarity of the rows (one GEMM)."""
     matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
-    norms = np.linalg.norm(matrix, axis=1)
-    # Divide by the true norm so similarity is scale-invariant even for
-    # tiny rows; only an exactly-zero row (no direction) is floored, and
-    # it stays the zero vector — similarity 0 to everything at any scale.
-    norms = np.where(norms == 0.0, 1.0, norms)
-    normalized = matrix / norms[:, None]
+    # Pre-scale each row by its max-abs before taking the norm: squaring
+    # entries of a tiny-but-nonzero row underflows into subnormals and
+    # destroys scale invariance, and a huge row overflows. After scaling,
+    # every nonzero row's norm lies in [1, sqrt(d)]. Only an exactly-zero
+    # row (no direction) is floored, and it stays the zero vector —
+    # similarity 0 to everything at any scale.
+    peaks = np.max(np.abs(matrix), axis=1, keepdims=True)
+    scaled = matrix / np.where(peaks == 0.0, 1.0, peaks)
+    norms = np.linalg.norm(scaled, axis=1)
+    normalized = scaled / np.where(norms == 0.0, 1.0, norms)[:, None]
     sims = normalized @ normalized.T
     return np.clip(sims, -1.0, 1.0)
 

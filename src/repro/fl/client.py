@@ -343,37 +343,30 @@ class FLClient:
             self._decoder_vector = None
 
     # -- federated round -------------------------------------------------------
-    def fit(
-        self,
-        global_weights: np.ndarray,
-        include_decoder: bool,
-        round_idx: int = 0,
-    ) -> ClientUpdate:
-        """Run one local round: load ψ*, train, (attack), upload.
+    def begin_fit(self, round_idx: int) -> None:
+        """Round-entry bookkeeping shared by the loop and batched engines.
 
-        Parameters
-        ----------
-        global_weights:
-            The current global classifier vector ψ₀.
-        include_decoder:
-            Whether the aggregation strategy asked for CVAE decoders
-            (FedGuard). Triggers one-time CVAE training on first use.
-        round_idx:
-            Current federated round (drives stream ingestion and the CVAE
-            refresh schedule in the dynamic-dataset setting).
+        Must run before any training draw of the round: stream ingestion
+        can grow the dataset (changing this round's batch schedule) and may
+        consume this client's RNG (data-poisoning of fresh samples).
         """
-        cfg = self.config
         self._rounds_fit += 1
         self.ingest_stream(round_idx)
-        nn.vector_to_parameters(global_weights, self._model)
-        train_loss = train_classifier(
-            self._model, self.dataset,
-            epochs=cfg.local_epochs, lr=cfg.client_lr,
-            batch_size=cfg.batch_size, rng=self.rng,
-            momentum=cfg.client_momentum, optimizer=cfg.client_optimizer,
-            proximal_mu=cfg.proximal_mu,
-        )
-        weights = nn.parameters_to_vector(self._model)
+
+    def finish_fit(
+        self,
+        weights: np.ndarray,
+        global_weights: np.ndarray,
+        train_loss: float,
+        include_decoder: bool,
+    ) -> ClientUpdate:
+        """Post-training half of a local round: attack, decoder, upload.
+
+        ``weights`` is the locally trained classifier vector (however it
+        was produced — per-client loop or a slice of a batched stack).
+        Draw order per client stream matches :meth:`fit` exactly: training
+        draws, then attack draws, then (lazy) CVAE training draws.
+        """
         if isinstance(self.attack, ModelPoisoningAttack):
             # Optimized attacks (Fang-style, scaling) exploit knowledge of
             # the global model (threat model TM-2); hand it over if the
@@ -397,6 +390,38 @@ class FLClient:
             train_loss=train_loss,
             malicious=self.is_malicious,
         )
+
+    def fit(
+        self,
+        global_weights: np.ndarray,
+        include_decoder: bool,
+        round_idx: int = 0,
+    ) -> ClientUpdate:
+        """Run one local round: load ψ*, train, (attack), upload.
+
+        Parameters
+        ----------
+        global_weights:
+            The current global classifier vector ψ₀.
+        include_decoder:
+            Whether the aggregation strategy asked for CVAE decoders
+            (FedGuard). Triggers one-time CVAE training on first use.
+        round_idx:
+            Current federated round (drives stream ingestion and the CVAE
+            refresh schedule in the dynamic-dataset setting).
+        """
+        cfg = self.config
+        self.begin_fit(round_idx)
+        nn.vector_to_parameters(global_weights, self._model)
+        train_loss = train_classifier(
+            self._model, self.dataset,
+            epochs=cfg.local_epochs, lr=cfg.client_lr,
+            batch_size=cfg.batch_size, rng=self.rng,
+            momentum=cfg.client_momentum, optimizer=cfg.client_optimizer,
+            proximal_mu=cfg.proximal_mu,
+        )
+        weights = nn.parameters_to_vector(self._model)
+        return self.finish_fit(weights, global_weights, train_loss, include_decoder)
 
     def evaluate(self, weights: np.ndarray, dataset: Dataset | None = None) -> float:
         """Accuracy of the given classifier vector on a dataset (local by default)."""

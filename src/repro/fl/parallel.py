@@ -57,6 +57,7 @@ import os
 import pickle
 import time
 import traceback
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -64,6 +65,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..analysis.contracts import loop_fallback
+from .batched import TrainingEngine, make_engine
 from .client import FLClient
 from .transport import BroadcastMessage, SubmitMessage
 from .updates import ClientUpdate
@@ -112,13 +115,13 @@ def _reject_runtime_collusion(clients: list[FLClient]) -> None:
     more such colluders in a batch each would deviate along its own
     direction — a different attack than the sequential semantics.
     """
-    shared: dict[int, int] = {}
-    for client in clients:  # repro: noqa[RG204]
-        attack = client.attack
-        if attack is not None and getattr(attack, "runtime_collusion", False):
-            shared[id(attack)] = shared.get(id(attack), 0) + 1
-    offenders = {count for count in shared.values() if count >= 2}
-    if offenders:
+    shared = Counter(
+        id(client.attack)
+        for client in clients
+        if client.attack is not None
+        and getattr(client.attack, "runtime_collusion", False)
+    )
+    if any(count >= 2 for count in shared.values()):
         raise RuntimeError(
             "process-pool backends cannot simulate runtime-colluding attacks "
             "(e.g. DirectedDeviationAttack): worker processes mutate "
@@ -186,14 +189,21 @@ class ExecutionBackend:
 
 
 class SequentialBackend(ExecutionBackend):
-    """In-process execution — the default, zero overhead."""
+    """In-process execution — the default, zero overhead.
+
+    Local training is delegated to a :class:`~repro.fl.batched.TrainingEngine`
+    (``engine="loop"`` for the per-client reference loop, ``"batched"`` for
+    the stacked multi-client passes — bit-identical results).
+    """
+
+    def __init__(self, engine: str = "loop") -> None:
+        super().__init__()
+        self.engine: TrainingEngine = make_engine(engine)
 
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
-        updates, times = [], []
-        for client in clients:  # repro: noqa[RG204]
-            t0 = time.perf_counter()
-            updates.append(client.fit(global_weights, include_decoder, round_idx))
-            times.append(time.perf_counter() - t0)
+        updates, times = self.engine.fit_clients(
+            clients, global_weights, include_decoder, round_idx
+        )
         self.ipc_stats.rounds += 1
         return updates, times
 
@@ -280,7 +290,8 @@ def _resident_worker_main(conn) -> None:
     * ``("install", [ClientRecipe, ...])`` — rebuild and adopt clients;
       no reply (errors surface on the next round reply).
     * ``("round", round_idx, include_decoder, [client_id, ...],
-      weights_ref)`` — fit the listed resident clients in order; replies
+      weights_ref, engine_kind)`` — fit the listed resident clients in
+      order with the named training engine; replies
       ``("ok", [packed_update, ...])`` or ``("error", traceback)``.
     * ``("harvest", [client_id, ...])`` — read-only snapshot of the listed
       clients' checkpoint state (federation checkpointing); replies
@@ -289,6 +300,7 @@ def _resident_worker_main(conn) -> None:
     """
     clients: dict[int, FLClient] = {}
     shipped_versions: dict[int, int] = {}
+    engines: dict[str, TrainingEngine] = {}
     pending_error: str | None = None
     while True:
         try:
@@ -319,15 +331,20 @@ def _resident_worker_main(conn) -> None:
             try:
                 if pending_error is not None:
                     raise RuntimeError(f"client install failed:\n{pending_error}")
-                _, round_idx, include_decoder, client_ids, weights_ref = message
+                (_, round_idx, include_decoder, client_ids,
+                 weights_ref, engine_kind) = message
                 weights = _resolve_weights(weights_ref)
-                results = []
-                for client_id in client_ids:
-                    client = clients[client_id]
-                    t0 = time.perf_counter()
-                    update = client.fit(weights, include_decoder, round_idx)
-                    elapsed = time.perf_counter() - t0
-                    results.append(_pack_update(update, elapsed, shipped_versions))
+                engine = engines.get(engine_kind)
+                if engine is None:
+                    engine = engines[engine_kind] = make_engine(engine_kind)
+                group = [clients[cid] for cid in client_ids]
+                updates, times = engine.fit_clients(
+                    group, weights, include_decoder, round_idx
+                )
+                results = [
+                    _pack_update(update, elapsed, shipped_versions)
+                    for update, elapsed in zip(updates, times)
+                ]
                 reply = ("ok", results)
             except Exception:  # noqa: BLE001 - forwarded to the main process
                 reply = ("error", traceback.format_exc())
@@ -388,11 +405,20 @@ class ProcessPoolBackend(ExecutionBackend):
     ----------
     max_workers:
         Worker process count; ``None`` uses the CPU count.
+    engine:
+        Training engine each worker runs over its resident group
+        (``"loop"`` or ``"batched"``; see :mod:`repro.fl.batched`).
+        With ``"batched"`` every worker stacks its own clients, so the
+        pool composes process parallelism with leading-axis batching.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(self, max_workers: int | None = None,
+                 engine: str = "loop") -> None:
         super().__init__()
         self.max_workers = max_workers
+        if engine not in ("loop", "batched"):
+            raise ValueError(f"unknown engine kind {engine!r}")
+        self.engine_kind = engine
         self._workers: list[_WorkerHandle] | None = None
         self._mp_ctx = None
         self._resident_ids: set[int] = set()
@@ -495,7 +521,8 @@ class ProcessPoolBackend(ExecutionBackend):
                     workers[worker_idx].send(("install", fresh))
                 workers[worker_idx].send(
                     ("round", round_idx, include_decoder,
-                     [client.client_id for client in group], ref)
+                     [client.client_id for client in group], ref,
+                     self.engine_kind)
                 )
                 self._resident_ids.update(recipe.client_id for recipe in fresh)
                 return
@@ -535,9 +562,12 @@ class ProcessPoolBackend(ExecutionBackend):
 
         # Sticky placement: client_id mod workers, stable for the whole
         # federation, so resident state (CVAE, stream, RNG) never moves.
-        by_worker: dict[int, list[FLClient]] = {}
-        for client in clients:  # repro: noqa[RG204]
-            by_worker.setdefault(client.client_id % len(workers), []).append(client)
+        n = len(workers)
+        by_worker: dict[int, list[FLClient]] = {
+            worker_idx: group
+            for worker_idx in range(n)
+            if (group := [c for c in clients if c.client_id % n == worker_idx])
+        }
 
         weights = np.ascontiguousarray(global_weights, dtype=np.float64)
         ref, segment = self._publish_weights(weights)
@@ -558,11 +588,13 @@ class ProcessPoolBackend(ExecutionBackend):
                 segment.close()
                 segment.unlink()
 
-        updates, times = [], []
-        for client in clients:  # reassemble in round order  # repro: noqa[RG204]
-            packed = packed_by_id[client.client_id]
-            updates.append(self._unpack_update(client, packed))
-            times.append(packed["elapsed_s"])
+        # Reassemble in round order.
+        packed_in_order = [packed_by_id[client.client_id] for client in clients]
+        updates = [
+            self._unpack_update(client, packed)
+            for client, packed in zip(clients, packed_in_order)
+        ]
+        times = [packed["elapsed_s"] for packed in packed_in_order]
         self.ipc_stats.rounds += 1
         return updates, times
 
@@ -707,7 +739,10 @@ class LegacyProcessPoolBackend(ExecutionBackend):
         victim.join()
         return True
 
+    @loop_fallback
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
+        # Intentionally per-client: this backend *is* the measured
+        # ship-everything baseline, so it never batches.
         _reject_runtime_collusion(clients)
         pool = self._ensure_pool()
         payloads = [(c, global_weights, include_decoder, round_idx) for c in clients]
@@ -727,7 +762,7 @@ class LegacyProcessPoolBackend(ExecutionBackend):
             pool = self._ensure_pool()
             results = list(pool.map(_fit_worker, payloads))
         updates, times = [], []
-        for client, result in zip(clients, results):  # repro: noqa[RG204]
+        for client, result in zip(clients, results):
             if self.measure_ipc:
                 self.ipc_stats.bytes_received += len(
                     pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
@@ -767,10 +802,16 @@ def make_backend(config) -> ExecutionBackend:
     """Build the backend a :class:`~repro.config.FederationConfig` asks for."""
     kind = config.backend
     workers = config.backend_workers or None
+    engine = getattr(config, "engine", "loop")
     if kind == "sequential":
-        return SequentialBackend()
+        return SequentialBackend(engine=engine)
     if kind == "process":
-        return ProcessPoolBackend(max_workers=workers)
+        return ProcessPoolBackend(max_workers=workers, engine=engine)
     if kind == "process_legacy":
+        if engine != "loop":
+            raise ValueError(
+                "the legacy backend is the per-client baseline and only "
+                "supports engine='loop'"
+            )
         return LegacyProcessPoolBackend(max_workers=workers)
     raise ValueError(f"unknown backend kind {kind!r}; known: {BACKEND_KINDS}")

@@ -238,13 +238,11 @@ def federation_state(server: Server, history) -> dict:
     those scenarios up front, so every checkpointable run is covered.
     """
     client_ids = [client.client_id for client in server.clients]
-    harvested = server.backend.client_states(client_ids)
-    client_states: dict[int, dict] = {}
-    for client in server.clients:  # repro: noqa[RG204]
-        if harvested is not None and client.client_id in harvested:
-            client_states[client.client_id] = harvested[client.client_id]
-        else:
-            client_states[client.client_id] = client.state_dict()
+    harvested = server.backend.client_states(client_ids) or {}
+    client_states: dict[int, dict] = {
+        client.client_id: harvested.get(client.client_id) or client.state_dict()
+        for client in server.clients
+    }
     last_round = history.rounds[-1].round_idx if history.rounds else 0
     return {
         "format": "repro-federation-checkpoint",
@@ -306,8 +304,9 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
     server.rng.bit_generator.state = state["server_rng"]
     server.context.rng.bit_generator.state = state["context_rng"]
     server._setup_done = state["setup_done"]
-    for client in server.clients:  # repro: noqa[RG204]
-        client.load_state_dict(state["clients"][client.client_id])
+    by_id = {client.client_id: client for client in server.clients}
+    for client_id, client_state in state["clients"].items():
+        by_id[client_id].load_state_dict(client_state)
     return server, history
 
 

@@ -87,8 +87,19 @@ class CNNClassifier(nn.Module):
         """Return raw logits of shape (N, num_classes).
 
         Accepts either (N, C, H, W) images or flattened (N, C*H*W) rows.
+        In client-batched mode the same applies with a leading client axis
+        — (K, N, ...) stacks — and a plain (N, D) batch is broadcast to
+        every stacked client (one shared batch scored by K models).
         """
-        if x.ndim == 2:
+        if self.client_axis is not None:
+            if x.ndim == 2:
+                x = np.broadcast_to(x, (self.client_axis,) + x.shape)
+            if x.ndim == 3:
+                x = np.ascontiguousarray(x).reshape(
+                    x.shape[0], x.shape[1],
+                    self.in_channels, self.image_size, self.image_size,
+                )
+        elif x.ndim == 2:
             x = x.reshape(-1, self.in_channels, self.image_size, self.image_size)
         for layer in self._stack:
             x = layer(x)
@@ -100,12 +111,12 @@ class CNNClassifier(nn.Module):
         return grad_output
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predicted integer class labels."""
-        return np.argmax(self.forward(x), axis=1)
+        """Predicted integer class labels (per client in batched mode)."""
+        return np.argmax(self.forward(x), axis=-1)
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Softmax class probabilities (the paper's softmax output layer)."""
-        return nn.functional.softmax(self.forward(x), axis=1)
+        return nn.functional.softmax(self.forward(x), axis=-1)
 
 
 class MLPClassifier(nn.Module):
@@ -128,7 +139,12 @@ class MLPClassifier(nn.Module):
         self._stack = [self.fc1, self.relu, self.fc2]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = x.reshape(x.shape[0], -1)
+        if self.client_axis is not None:
+            if x.ndim == 2:
+                x = np.broadcast_to(x, (self.client_axis,) + x.shape)
+            x = np.ascontiguousarray(x).reshape(x.shape[0], x.shape[1], -1)
+        else:
+            x = x.reshape(x.shape[0], -1)
         for layer in self._stack:
             x = layer(x)
         return x
@@ -139,10 +155,10 @@ class MLPClassifier(nn.Module):
         return grad_output
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        return np.argmax(self.forward(x), axis=1)
+        return np.argmax(self.forward(x), axis=-1)
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        return nn.functional.softmax(self.forward(x), axis=1)
+        return nn.functional.softmax(self.forward(x), axis=-1)
 
 
 def mnist_cnn(rng: np.random.Generator | None = None) -> CNNClassifier:

@@ -208,7 +208,9 @@ class CVAEDecoder(nn.Module):
         self.sigmoid = nn.Sigmoid()
 
     def forward(self, z: np.ndarray, y_onehot: np.ndarray) -> np.ndarray:
-        h = self.relu(self.fc1(np.concatenate([z, y_onehot], axis=1)))
+        # axis=-1 so the same code serves (N, ·) inputs and client-batched
+        # (K, N, ·) stacks (the server's batched multi-decoder synthesis).
+        h = self.relu(self.fc1(np.concatenate([z, y_onehot], axis=-1)))
         return self.sigmoid(self.fc2(h))
 
     def backward(self, d_out: np.ndarray) -> np.ndarray:
@@ -216,7 +218,7 @@ class CVAEDecoder(nn.Module):
         dh = self.fc2.backward(dh)
         dh = self.relu.backward(dh)
         d_in = self.fc1.backward(dh)
-        return d_in[:, : self.latent_dim]
+        return d_in[..., : self.latent_dim]
 
     def generate(
         self,

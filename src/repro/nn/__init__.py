@@ -27,6 +27,8 @@ from .serialization import (
     parameter_shapes,
     parameters_to_vector,
     split_vector,
+    stack_parameters,
+    unstack_parameters,
     vector_nbytes,
     vector_to_parameters,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "parameter_shapes",
     "vector_nbytes",
     "split_vector",
+    "stack_parameters",
+    "unstack_parameters",
     "WIRE_BYTES_PER_PARAM",
     "save_checkpoint",
     "load_checkpoint",

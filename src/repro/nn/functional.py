@@ -225,14 +225,19 @@ def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 @client_batched
 @array_contract(labels={"dtype": "integer"})
 def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
-    """Encode integer ``labels`` of shape (N,) as a (N, num_classes) matrix."""
+    """Encode integer labels as one-hot vectors along a new trailing axis.
+
+    (N,) labels become an (N, num_classes) matrix; client-batched (K, N)
+    labels become a (K, N, num_classes) stack whose slice j equals the
+    unstacked encoding of ``labels[j]``.
+    """
     labels = np.asarray(labels)
-    if labels.ndim != 1:
-        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.ndim not in (1, 2):
+        raise ValueError(f"labels must be 1-D or (K, N), got shape {labels.shape}")
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError(
             f"labels out of range [0, {num_classes}): min={labels.min()}, max={labels.max()}"
         )
-    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
-    out[np.arange(labels.shape[0]), labels] = 1.0
+    out = np.zeros(labels.shape + (num_classes,), dtype=dtype)
+    np.put_along_axis(out, labels[..., None], 1.0, axis=-1)
     return out

@@ -45,10 +45,26 @@ class Linear(Module):
 
     @client_batched
     def forward(self, x: np.ndarray) -> np.ndarray:
+        w = self.weight.data
+        if w.ndim == 3:
+            # Client-batched mode: K stacked weight matrices (K, out, in)
+            # against K stacked batches (K, N, in). np.matmul dispatches a
+            # per-slice BLAS GEMM, so slice j is bit-identical to the
+            # unstacked x[j] @ w[j].T.
+            if x.ndim != 3 or x.shape[-1] != self.in_features:
+                raise ValueError(
+                    f"client-batched Linear expects (K, N, {self.in_features}), "
+                    f"got shape {x.shape}"
+                )
+            self._cache_input = x
+            out = np.matmul(x, w.transpose(0, 2, 1))
+            if self.has_bias:
+                out += self.bias.data[:, None, :]
+            return out
         if x.ndim != 2:
             raise ValueError(f"Linear expects (N, {self.in_features}), got shape {x.shape}")
         self._cache_input = x
-        out = x @ self.weight.data.T
+        out = x @ w.T
         if self.has_bias:
             out += self.bias.data
         return out
@@ -57,6 +73,11 @@ class Linear(Module):
         x = self._cache_input
         if x is None:
             raise RuntimeError("backward called before forward")
+        if self.weight.data.ndim == 3:
+            self.weight.grad += np.matmul(grad_output.transpose(0, 2, 1), x)
+            if self.has_bias:
+                self.bias.grad += grad_output.sum(axis=1)
+            return np.matmul(grad_output, self.weight.data)
         self.weight.grad += grad_output.T @ x
         if self.has_bias:
             self.bias.grad += grad_output.sum(axis=0)
@@ -92,6 +113,8 @@ class Conv2d(Module):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.weight.data.ndim == 5:
+            return self._forward_batched(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2d expects (N, {self.in_channels}, H, W), got shape {x.shape}"
@@ -109,11 +132,62 @@ class Conv2d(Module):
         self._cache = (x.shape, cols)
         return np.ascontiguousarray(out)
 
+    @client_batched
+    def _forward_batched(self, x: np.ndarray) -> np.ndarray:
+        # K stacked kernels (K, out_c, in_c, k, k) over K stacked image
+        # batches (K, N, in_c, H, W). The client axis is folded into the
+        # im2col batch (reusing the per-geometry index memo — batch size
+        # never keys the cache) and one stacked GEMM applies each client's
+        # kernel to exactly its own columns: im2col's column index is
+        # m*L + l, so splitting the m = j*N + i axis recovers client j's
+        # unstacked column matrix bit-for-bit.
+        if x.ndim != 5 or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"client-batched Conv2d expects (K, N, {self.in_channels}, H, W), "
+                f"got shape {x.shape}"
+            )
+        clients, n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = (h + 2 * p - k) // s + 1
+        out_w = (w + 2 * p - k) // s + 1
+        cols = F.im2col(
+            np.ascontiguousarray(x).reshape(clients * n, self.in_channels, h, w),
+            k, k, padding=p, stride=s,
+        )  # (C*k*k, K*N*out_h*out_w)
+        ckk = cols.shape[0]
+        cols_b = cols.reshape(ckk, clients, n * out_h * out_w).transpose(1, 0, 2)
+        w_flat = self.weight.data.reshape(clients, self.out_channels, -1)
+        out = np.matmul(w_flat, cols_b)  # (K, out_c, N*out_h*out_w)
+        out = out.reshape(clients, self.out_channels, n, out_h, out_w)
+        out = out.transpose(0, 2, 1, 3, 4)
+        if self.has_bias:
+            out += self.bias.data[:, None, :, None, None]
+        self._cache = (x.shape, cols)
+        return np.ascontiguousarray(out)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_shape, cols = self._cache
         k, s, p = self.kernel_size, self.stride, self.padding
+        if len(x_shape) == 5:
+            clients, n = x_shape[0], x_shape[1]
+            grad = grad_output.transpose(0, 2, 1, 3, 4)
+            grad = grad.reshape(clients, self.out_channels, -1)  # (K, out_c, N*L)
+            ckk = cols.shape[0]
+            cols_b = cols.reshape(ckk, clients, -1).transpose(1, 0, 2)
+            self.weight.grad += np.matmul(grad, cols_b.transpose(0, 2, 1)).reshape(
+                self.weight.data.shape
+            )
+            if self.has_bias:
+                self.bias.grad += grad_output.sum(axis=(1, 3, 4))
+            w_flat = self.weight.data.reshape(clients, self.out_channels, -1)
+            dcols_b = np.matmul(w_flat.transpose(0, 2, 1), grad)  # (K, C*k*k, N*L)
+            dcols = np.ascontiguousarray(dcols_b.transpose(1, 0, 2)).reshape(ckk, -1)
+            dx = F.col2im(
+                dcols, (clients * n,) + x_shape[2:], k, k, padding=p, stride=s
+            )
+            return dx.reshape(x_shape)
         grad = grad_output.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
         self.weight.grad += (grad @ cols.T).reshape(self.weight.data.shape)
         if self.has_bias:
@@ -137,6 +211,8 @@ class MaxPool2d(Module):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 5:
+            return self._forward_batched(x)
         n, c, h, w = x.shape
         k = self.kernel_size
         if h % k or w % k:
@@ -151,12 +227,32 @@ class MaxPool2d(Module):
         self._cache = (x.shape, mask)
         return out
 
+    @client_batched
+    def _forward_batched(self, x: np.ndarray) -> np.ndarray:
+        # (K, N, C, H, W): same window reshape with the client axis riding
+        # in front; max/mask are exact per slice.
+        clients, n, c, h, w = x.shape
+        k = self.kernel_size
+        if h % k or w % k:
+            raise ValueError(
+                f"MaxPool2d({k}) requires spatial dims divisible by {k}, got {h}x{w}"
+            )
+        reshaped = np.ascontiguousarray(x).reshape(clients, n, c, h // k, k, w // k, k)
+        out = reshaped.max(axis=(4, 6))
+        mask = reshaped == out[:, :, :, :, None, :, None]
+        self._cache = (x.shape, mask)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_shape, mask = self._cache
-        n, c, h, w = x_shape
         k = self.kernel_size
+        if len(x_shape) == 5:
+            counts = mask.sum(axis=(4, 6), keepdims=True)
+            grad = (mask / counts) * grad_output[:, :, :, :, None, :, None]
+            return grad.reshape(x_shape)
+        n, c, h, w = x_shape
         counts = mask.sum(axis=(3, 5), keepdims=True)
         grad = (mask / counts) * grad_output[:, :, :, None, :, None]
         return grad.reshape(n, c, h, w)
@@ -172,6 +268,9 @@ class Flatten(Module):
     @client_batched
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
+        if self.client_axis is not None:
+            # (K, N, ...) -> (K, N, features): only the per-sample dims fold.
+            return np.ascontiguousarray(x).reshape(x.shape[0], x.shape[1], -1)
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -189,6 +288,11 @@ class Dropout(Module):
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
         self.rng = rng if rng is not None else np.random.default_rng()
+        # Client-batched mode: one generator per stacked client. A single
+        # shared stream would entangle the clients' mask draws (client j's
+        # mask would depend on how many clients precede it in the stack),
+        # breaking bit-equivalence with the per-client loop.
+        self.client_rngs: list[np.random.Generator] | None = None
         self._mask: np.ndarray | None = None
 
     @client_batched
@@ -197,7 +301,20 @@ class Dropout(Module):
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        if self.client_axis is not None:
+            rngs = self.client_rngs
+            if rngs is None or len(rngs) != x.shape[0]:
+                raise RuntimeError(
+                    "client-batched Dropout requires one RNG stream per client: "
+                    f"got {0 if rngs is None else len(rngs)} streams for "
+                    f"{x.shape[0]} stacked clients (set `client_rngs`)"
+                )
+            # Each client's mask comes from its own stream with the same
+            # per-client shape the loop engine draws — bit-identical masks.
+            noise = np.stack([rng.random(x.shape[1:]) for rng in rngs])
+            self._mask = (noise < keep) / keep
+        else:
+            self._mask = (self.rng.random(x.shape) < keep) / keep
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -32,15 +32,33 @@ class SoftmaxCrossEntropy:
     The fused gradient ``(softmax(x) - onehot(y)) / N`` is both faster and
     numerically better behaved than chaining a Softmax layer with a log
     loss.
+
+    Client-batched mode: (K, N, C) logits with (K, N) labels return a
+    ``(K,)`` vector of per-client mean losses, and ``backward`` returns the
+    stacked per-client gradients — slice j is bit-identical to running the
+    unstacked loss on client j alone.
     """
 
     def __init__(self) -> None:
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
 
-    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float | np.ndarray:
+        labels = np.asarray(labels)
+        if logits.ndim == 3:
+            if labels.shape != logits.shape[:2]:
+                raise ValueError(
+                    f"client-batched labels must be {logits.shape[:2]}, "
+                    f"got {labels.shape}"
+                )
+            log_probs = F.log_softmax(logits, axis=-1)
+            clients, n = logits.shape[:2]
+            picked = log_probs[
+                np.arange(clients)[:, None], np.arange(n)[None, :], labels
+            ]
+            self._cache = (np.exp(log_probs), labels)
+            return -picked.mean(axis=1)
         if logits.ndim != 2:
             raise ValueError(f"logits must be (N, C), got {logits.shape}")
-        labels = np.asarray(labels)
         log_probs = F.log_softmax(logits, axis=-1)
         n = logits.shape[0]
         loss = -log_probs[np.arange(n), labels].mean()
@@ -51,13 +69,19 @@ class SoftmaxCrossEntropy:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         probs, labels = self._cache
+        if probs.ndim == 3:
+            clients, n = probs.shape[:2]
+            grad = probs.copy()
+            grad[np.arange(clients)[:, None], np.arange(n)[None, :], labels] -= 1.0
+            grad /= n
+            return grad
         n = probs.shape[0]
         grad = probs.copy()
         grad[np.arange(n), labels] -= 1.0
         grad /= n
         return grad
 
-    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float | np.ndarray:
         return self.forward(logits, labels)
 
 

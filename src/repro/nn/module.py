@@ -73,6 +73,12 @@ class Module:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "training", True)
+        # Client-batched mode (None = single-model). When set to an integer
+        # K, parameter data carries a leading (K, ...) client axis and the
+        # shape-dependent layers (Flatten, Dropout, the model-level
+        # reshapes) interpret inputs as (K, N, ...) stacks. Installed by
+        # ``repro.nn.serialization.stack_parameters``.
+        object.__setattr__(self, "client_axis", None)
 
     # -- registration ----------------------------------------------------
     def __setattr__(self, name: str, value) -> None:
@@ -130,6 +136,20 @@ class Module:
     def eval(self) -> "Module":
         """Set inference mode recursively."""
         return self.train(False)
+
+    # -- client-batched mode --------------------------------------------------
+    def set_client_axis(self, clients: int | None) -> "Module":
+        """Mark this module tree as operating on ``clients`` stacked models.
+
+        Layers whose math is driven by parameter shapes (Linear, Conv2d)
+        detect batching from the extra weight dimension; layers without
+        parameters (Flatten, Dropout) consult this flag instead. ``None``
+        restores single-model semantics.
+        """
+        object.__setattr__(self, "client_axis", clients)
+        for child in self._modules.values():
+            child.set_client_axis(clients)
+        return self
 
     # -- gradients -----------------------------------------------------------
     def zero_grad(self) -> None:

@@ -22,6 +22,8 @@ __all__ = [
     "parameter_shapes",
     "vector_nbytes",
     "split_vector",
+    "stack_parameters",
+    "unstack_parameters",
 ]
 
 # The paper reports sizes for float32 models (6.65 MB for 1,662,752 params);
@@ -65,6 +67,61 @@ def vector_to_parameters(vector: np.ndarray, model: Module) -> None:
         offset += p.size
     # Invalidate any optimizer state implicitly: callers re-create optimizers
     # per round, mirroring how FL frameworks reload global weights.
+
+
+def stack_parameters(matrix: np.ndarray, model: Module) -> None:
+    """Install K flat parameter vectors as a leading client axis on ``model``.
+
+    ``matrix`` has shape ``(K, P)`` where ``P`` is the model's flattened
+    parameter count. Every parameter's ``data`` becomes a ``(K, *shape)``
+    stack whose slice ``data[j]`` is bit-identical to what
+    :func:`vector_to_parameters` would have written from ``matrix[j]``;
+    ``grad`` is re-allocated to match. The model is switched into
+    client-batched mode (see :meth:`Module.set_client_axis`) and can be
+    re-stacked with a different K at any time.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (K, P) matrix, got shape {matrix.shape}")
+    clients = matrix.shape[0]
+    if clients == 0:
+        raise ValueError("cannot stack zero client vectors")
+    params = model.parameters()
+    stacked_already = model.client_axis is not None
+    shapes = [p.data.shape[1:] if stacked_already else p.data.shape for p in params]
+    total = sum(int(np.prod(s)) for s in shapes)
+    if matrix.shape[1] != total:
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns but model has {total} parameters"
+        )
+    offset = 0
+    for p, shape in zip(params, shapes):
+        size = int(np.prod(shape))
+        block = np.ascontiguousarray(matrix[:, offset : offset + size])
+        p.data = block.reshape((clients,) + shape)
+        p.grad = np.zeros_like(p.data)
+        offset += size
+    model.set_client_axis(clients)
+
+
+def unstack_parameters(model: Module) -> np.ndarray:
+    """Flatten a client-batched model back into a ``(K, P)`` matrix.
+
+    Row ``j`` is bit-identical to the vector :func:`parameters_to_vector`
+    would produce from client ``j``'s unstacked model.
+    """
+    clients = model.client_axis
+    if clients is None:
+        raise ValueError("model has no client axis; use parameters_to_vector")
+    params = model.parameters()
+    total = sum(p.data[0].size for p in params)
+    out = np.empty((clients, total), dtype=np.float64)
+    offset = 0
+    for p in params:
+        size = p.data[0].size
+        out[:, offset : offset + size] = p.data.reshape(clients, size)
+        offset += size
+    return out
 
 
 def parameter_shapes(model: Module) -> list[tuple[int, ...]]:

@@ -1,9 +1,10 @@
 """FedGuard selection-rule unit tests with a stubbed synthesis stage.
 
 These isolate Alg. 1 lines 5-7 (scoring + mean-threshold filtering) from
-the CVAE machinery: a stub classifier shell maps each update vector to a
-predetermined prediction pattern, so the audit accuracies — and therefore
-the selection outcome — are exact and fast to compute.
+the CVAE machinery: a stub classifier shell maps each row of the stacked
+update matrix to a predetermined prediction pattern, so the audit
+accuracies — and therefore the selection outcome — are exact and fast to
+compute.
 """
 
 import numpy as np
@@ -31,25 +32,23 @@ class StubDecoder:
 
 
 class StubClassifier:
-    """Classifier shell whose accuracy equals its loaded weight value.
+    """Stacked classifier shell whose accuracies equal its loaded weights.
 
-    The flat 'weights' vector is a single scalar a ∈ [0, 1]; predict()
-    returns the true labels for the first ⌊a·n⌋ samples and garbage for
-    the rest, so audit accuracy == a exactly.
+    Each row of the stacked 'weights' matrix is a single scalar a ∈ [0, 1];
+    predict() returns one row per loaded scalar, matching the true labels
+    for the first ⌊a·n⌋ samples and garbage for the rest, so row i's audit
+    accuracy == a_i exactly.
     """
 
     def __init__(self):
-        self.value = 0.0
-        self._params = [np.zeros(1)]
-
-    def parameters(self):
-        return self._params
+        self.values = np.zeros(1)
 
     def predict(self, x):
         n = len(x)
-        correct = int(round(self.value * n))
-        preds = np.full(n, -1)
-        preds[:correct] = StubContext.LABELS[:correct]
+        preds = np.full((self.values.size, n), -1)
+        for i, value in enumerate(self.values):
+            correct = int(round(float(value) * n))
+            preds[i, :correct] = StubContext.LABELS[:correct]
         return preds
 
 
@@ -89,7 +88,7 @@ def patched_guard():
 
 def updates_with_scores(scores):
     # encode the desired accuracy in the single-scalar weight vector;
-    # vector_to_parameters writes it into StubClassifier._params[0].
+    # stack_parameters loads the (K, 1) matrix into StubClassifier.values.
     return [
         ClientUpdate(i, np.array([s]), 10, decoder_weights=np.zeros(1))
         for i, s in enumerate(scores)
@@ -98,19 +97,15 @@ def updates_with_scores(scores):
 
 @pytest.fixture
 def selection_env(monkeypatch):
-    """Wire vector_to_parameters so loading ψ sets the stub's accuracy."""
+    """Wire stack_parameters so loading the ψ matrix sets the stub's accuracies."""
     from repro.defenses import fedguard as fedguard_module
 
-    def fake_v2p(vector, model):
-        if isinstance(model, StubClassifier):
-            model.value = float(np.asarray(vector).ravel()[0])
-        elif isinstance(model, StubDecoder):
-            pass
-        else:
-            raise AssertionError("unexpected model type in stub test")
+    def fake_stack(matrix, model):
+        assert isinstance(model, StubClassifier), "unexpected model type in stub test"
+        model.values = np.asarray(matrix)[:, 0]
 
-    monkeypatch.setattr(fedguard_module.nn, "vector_to_parameters", fake_v2p)
-    return fake_v2p
+    monkeypatch.setattr(fedguard_module.nn, "stack_parameters", fake_stack)
+    return fake_stack
 
 
 class TestMeanThresholdSelection:

@@ -44,11 +44,15 @@ def _normalize(data: dict) -> dict:
     return out
 
 
+@pytest.mark.parametrize("engine", ["loop", "batched"])
 @pytest.mark.parametrize("cell", sorted(GOLDEN))
-def test_history_matches_pre_refactor_golden(cell):
+def test_history_matches_pre_refactor_golden(cell, engine):
+    # Both training engines must land on the same golden bytes: the
+    # batched stack is a pure execution-plan change, not a semantic one.
     strategy, scenario, seed_tag = cell.rsplit("__", 2)
     seed = int(seed_tag.removeprefix("seed"))
-    history = run_cell(FederationConfig.tiny(seed=seed), strategy, scenario)
+    config = FederationConfig.tiny(seed=seed, engine=engine)
+    history = run_cell(config, strategy, scenario)
     assert _normalize(history_to_dict(history)) == _normalize(GOLDEN[cell])
 
 

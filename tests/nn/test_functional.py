@@ -118,9 +118,16 @@ class TestOneHot:
         with pytest.raises(ValueError):
             F.one_hot(np.array([-1]), 3)
 
-    def test_requires_1d(self):
+    def test_client_batched_2d(self):
+        labels = np.array([[0, 2], [1, 1]])
+        out = F.one_hot(labels, 3)
+        assert out.shape == (2, 2, 3)
+        for j in range(2):
+            np.testing.assert_array_equal(out[j], F.one_hot(labels[j], 3))
+
+    def test_rejects_3d(self):
         with pytest.raises(ValueError):
-            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+            F.one_hot(np.zeros((2, 2, 2), dtype=int), 3)
 
     def test_empty(self):
         assert F.one_hot(np.array([], dtype=int), 4).shape == (0, 4)
