@@ -75,6 +75,9 @@ SHAPE_RULE_DESCRIPTIONS = {
     "RG204": "Python-level loop over a client collection in round logic "
              "(batched-engine migration tracker)",
     "RG205": "@client_batched function provably drops the leading client axis",
+    "RG206": "eager O(n_clients) enumeration (range(n_clients) loop/"
+             "comprehension, .spawn(n_clients), or list * n_clients) outside "
+             "the lazy population module",
 }
 SHAPE_RULES = frozenset(SHAPE_RULE_DESCRIPTIONS)
 
@@ -121,6 +124,12 @@ def _rule_in_scope(rule: str, path: str) -> bool:
         return _in_dirs(path, _HOT_DIRS)
     if rule == "RG204":
         return _in_dirs(path, _RG204_DIRS)
+    if rule == "RG206":
+        # The virtual population is the one place allowed to reason about
+        # the full client index space (it does so lazily, per index).
+        import pathlib
+
+        return pathlib.PurePath(path).name != "population.py"
     return True  # RG201 / RG205: everywhere in the package
 
 
@@ -1326,6 +1335,92 @@ def scan_rg204(func: ast.AST, is_module: bool = False) -> list[ShapeIssue]:
     return issues
 
 
+def _mentions_n_clients(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "n_clients":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "n_clients":
+            return True
+    return False
+
+
+def _is_range_n_clients(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and bool(node.args)
+        and any(_mentions_n_clients(arg) for arg in node.args)
+    )
+
+
+def scan_rg206(func: ast.AST, is_module: bool = False) -> list[ShapeIssue]:
+    """Eager O(n_clients) work outside the population module.
+
+    Million-client federations only stay tractable if per-client state is
+    derived on demand (``repro.fl.population``); any ``range(n_clients)``
+    loop/comprehension, eager ``.spawn(n_clients)`` RNG fan-out, or
+    ``[...] * n_clients`` allocation elsewhere reintroduces O(n_clients)
+    time or memory per run. Legitimately-eager code (the ``population=
+    "eager"`` reference path, global partition schemes) carries audited
+    ``# repro: noqa[RG206]`` suppressions explaining why.
+
+    Issues are reported at the line of the ``range``/``spawn`` expression
+    itself (for multi-line comprehensions that is the ``for ... in
+    range(...)`` generator line) so suppressions sit next to the loop
+    clause they justify.
+    """
+    issues: list[ShapeIssue] = []
+    for node in _scan_nodes(func, is_module):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_range_n_clients(node.iter):
+                issues.append(ShapeIssue(
+                    "RG206", node.iter.lineno, node.iter.col_offset,
+                    "eager `for ... in range(n_clients)` loop: iterate "
+                    "sampled clients only, or derive per-index state "
+                    "lazily via repro.fl.population",
+                ))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_range_n_clients(gen.iter):
+                    issues.append(ShapeIssue(
+                        "RG206", gen.iter.lineno, gen.iter.col_offset,
+                        "eager comprehension over range(n_clients) "
+                        "materializes O(n_clients) objects; derive "
+                        "per-index state lazily via repro.fl.population",
+                    ))
+        elif isinstance(node, ast.Call):
+            target = node.func
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "spawn"
+                and node.args
+                and _mentions_n_clients(node.args[0])
+            ):
+                issues.append(ShapeIssue(
+                    "RG206", node.lineno, node.col_offset,
+                    ".spawn(n_clients) materializes O(n_clients) RNG "
+                    "children; derive index-keyed children lazily "
+                    "(SeedParent in repro.fl.population)",
+                ))
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            sized = (
+                (isinstance(node.left, ast.List)
+                 and _mentions_n_clients(node.right))
+                or (isinstance(node.right, ast.List)
+                    and _mentions_n_clients(node.left))
+            )
+            if sized:
+                issues.append(ShapeIssue(
+                    "RG206", node.lineno, node.col_offset,
+                    "`[...] * n_clients` allocates an O(n_clients) list; "
+                    "keep per-client state sparse/packed "
+                    "(repro.fl.population)",
+                ))
+    return issues
+
+
 # ---------------------------------------------------------------------------
 # interprocedural driver
 # ---------------------------------------------------------------------------
@@ -1491,6 +1586,11 @@ def analyze_shapes_project(
                 ))
         if "RG204" in active and _rule_in_scope("RG204", path):
             for issue in scan_rg204(record.func, is_module):
+                findings.append(Finding(
+                    issue.rule, path, issue.line, issue.col, issue.message
+                ))
+        if "RG206" in active and _rule_in_scope("RG206", path):
+            for issue in scan_rg206(record.func, is_module):
                 findings.append(Finding(
                     issue.rule, path, issue.line, issue.col, issue.message
                 ))

@@ -89,6 +89,28 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
                              "stacks all sampled clients into one leading-axis "
                              "pass — bit-identical histories, fewer Python "
                              "dispatches)")
+    parser.add_argument("--population", choices=["lazy", "eager"], default=None,
+                        help="client registry (default: lazy — clients derive "
+                             "on demand from index-keyed seeds, O(m) memory "
+                             "per round; 'eager' materializes all N up front)")
+    parser.add_argument("--population-store", choices=["ram", "mmap"],
+                        default=None,
+                        help="lazy population: packed per-client state backing "
+                             "(default: ram; 'mmap' spills to a memory-mapped "
+                             "file)")
+    parser.add_argument("--resident-cap", type=int, default=None,
+                        help="process backend: LRU cap on clients kept resident "
+                             "per worker pool (0 = unbounded)")
+    parser.add_argument("--partition", choices=["dirichlet", "iid",
+                                                "pathological", "virtual"],
+                        default=None,
+                        help="data partition scheme (default: dirichlet; "
+                             "'virtual' derives each client's sample draw "
+                             "lazily per index — the only scheme that scales "
+                             "past the sample pool)")
+    parser.add_argument("--virtual-samples", type=int, default=None,
+                        help="virtual partition: samples drawn per client "
+                             "(0 = pool size / N)")
     parser.add_argument("--retries", type=int, default=None,
                         help="re-send attempts after a failed broadcast/submit "
                              "(default: 0 — a drop is final)")
@@ -136,6 +158,17 @@ def _config_from_args(args) -> FederationConfig:
         overrides.setdefault("backend", "process")
     if getattr(args, "engine", None) is not None:
         overrides["engine"] = args.engine
+    if getattr(args, "population", None) is not None:
+        overrides["population"] = args.population
+    if getattr(args, "population_store", None) is not None:
+        overrides["population_store"] = args.population_store
+    if getattr(args, "resident_cap", None) is not None:
+        overrides["population_resident_cap"] = args.resident_cap
+    if getattr(args, "partition", None) is not None:
+        overrides["partition_scheme"] = args.partition
+    if getattr(args, "virtual_samples", None) is not None:
+        overrides["virtual_samples_per_client"] = args.virtual_samples
+        overrides.setdefault("partition_scheme", "virtual")
     if getattr(args, "retries", None) is not None:
         overrides["retries"] = args.retries
     if getattr(args, "backoff", None) is not None:

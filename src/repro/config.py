@@ -97,7 +97,15 @@ class FederationConfig:
     train_samples: int = 4800
     test_samples: int = 400
     partition_alpha: float = 10.0
-    partition_scheme: str = "dirichlet"
+    partition_scheme: str = "dirichlet"  # "dirichlet" | "iid" | "pathological" | "virtual"
+    virtual_samples_per_client: int = 0  # "virtual" scheme draw count (0 = pool/n)
+
+    # client registry (repro.fl.population; "lazy" derives clients on demand
+    # from index-keyed seeds — bit-identical to "eager", O(clients_per_round)
+    # memory instead of O(n_clients))
+    population: str = "lazy"            # "lazy" | "eager"
+    population_store: str = "ram"       # packed-state backing: "ram" | "mmap"
+    population_resident_cap: int = 0    # LRU cap on worker-resident clients (0 = unbounded)
 
     # dynamic datasets (future work §VI-C; 0 = the paper's static setting)
     stream_samples_per_round: int = 0   # fresh samples per client per round
@@ -157,6 +165,33 @@ class FederationConfig:
                      "channel_latency_spread"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.partition_scheme not in (
+            "dirichlet", "iid", "pathological", "virtual"
+        ):
+            raise ValueError(
+                f"unknown partition scheme {self.partition_scheme!r}; expected "
+                f"one of ('dirichlet', 'iid', 'pathological', 'virtual')"
+            )
+        if self.virtual_samples_per_client < 0:
+            raise ValueError(
+                f"virtual_samples_per_client must be >= 0, "
+                f"got {self.virtual_samples_per_client}"
+            )
+        if self.population not in ("lazy", "eager"):
+            raise ValueError(
+                f"unknown population {self.population!r}; "
+                f"expected one of ('lazy', 'eager')"
+            )
+        if self.population_store not in ("ram", "mmap"):
+            raise ValueError(
+                f"unknown population store {self.population_store!r}; "
+                f"expected one of ('ram', 'mmap')"
+            )
+        if self.population_resident_cap < 0:
+            raise ValueError(
+                f"population_resident_cap must be >= 0, "
+                f"got {self.population_resident_cap}"
+            )
         if self.backend not in ("sequential", "process", "process_legacy"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; "

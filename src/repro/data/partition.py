@@ -17,6 +17,8 @@ __all__ = [
     "dirichlet_partition",
     "iid_partition",
     "pathological_partition",
+    "virtual_partition",
+    "virtual_client_indices",
     "partition_indices",
     "partition_dataset",
 ]
@@ -72,7 +74,7 @@ def dirichlet_partition(
         raise ValueError(f"n_clients must be positive, got {n_clients}")
     if alpha <= 0:
         raise ValueError(f"alpha must be positive, got {alpha}")
-    client_indices: list[list[np.ndarray]] = [[] for _ in range(n_clients)]
+    client_indices: list[list[np.ndarray]] = [[] for _ in range(n_clients)]  # repro: noqa[RG206] — global scheme is inherently O(n)
     for cls in np.unique(labels):
         cls_idx = np.flatnonzero(labels == cls)
         rng.shuffle(cls_idx)
@@ -123,10 +125,63 @@ def pathological_partition(
     shards = np.array_split(sorted_idx, n_shards)
     shard_order = rng.permutation(n_shards)
     parts = []
-    for client in range(n_clients):
+    for client in range(n_clients):  # repro: noqa[RG206] — global scheme is inherently O(n)
         ids = shard_order[client * classes_per_client : (client + 1) * classes_per_client]
         parts.append(np.concatenate([shards[s] for s in ids]))
     return parts
+
+
+def virtual_client_indices(
+    n_samples: int,
+    samples_per_client: int,
+    child_seq: np.random.SeedSequence,
+) -> np.ndarray:
+    """One virtual client's indices into the shared pool, from its own seed.
+
+    ``samples_per_client`` draws *with replacement* into ``n_samples``,
+    from a generator seeded by the client's index-derived child sequence.
+    A pure function of ``(n_samples, samples_per_client, child_seq)`` —
+    no global partition state, so a million-client population can derive
+    any single client's membership in O(samples_per_client).
+    """
+    rng = np.random.Generator(np.random.PCG64(child_seq))
+    return rng.integers(0, n_samples, size=samples_per_client, dtype=np.int64)
+
+
+def virtual_partition(
+    labels: np.ndarray,
+    n_clients: int,
+    rng: np.random.Generator,
+    samples_per_client: int = 0,
+) -> list[np.ndarray]:
+    """Cross-device scheme: every client draws its own subset of the pool.
+
+    Unlike the Dirichlet/IID/pathological schemes, clients sample the pool
+    *with replacement* and independently of each other — membership for
+    client ``cid`` is a pure function of the partition stream's seed and
+    ``cid``. That independence is what lets the lazy population
+    (:class:`~repro.fl.population.VirtualPartition`) serve any single
+    client without enumerating the rest; this eager form exists for small-n
+    equivalence tests and ``population="eager"`` runs.
+    """
+    n_samples = len(labels)
+    if samples_per_client <= 0:
+        samples_per_client = max(n_samples // n_clients, 1)
+    seq = rng.bit_generator.seed_seq
+    base = seq.n_children_spawned
+    spawn_key = tuple(seq.spawn_key)
+    return [
+        virtual_client_indices(
+            n_samples,
+            samples_per_client,
+            np.random.SeedSequence(
+                entropy=seq.entropy,
+                spawn_key=spawn_key + (base + cid,),
+                pool_size=seq.pool_size,
+            ),
+        )
+        for cid in range(n_clients)  # repro: noqa[RG206] — eager enumeration is this function's contract
+    ]
 
 
 def partition_indices(
@@ -137,13 +192,15 @@ def partition_indices(
     alpha: float = 10.0,
     classes_per_client: int = 2,
     min_samples: int = 2,
+    samples_per_client: int = 0,
 ) -> list[np.ndarray]:
     """Per-client index arrays for the named scheme.
 
     The index arrays are a partition's portable form: the resident
     execution backend ships them (instead of the subsetted pixel data) so
     a worker process can rebuild a client's dataset from the regenerated
-    train pool.
+    train pool. ``samples_per_client`` only applies to the ``"virtual"``
+    cross-device scheme (0 = pool size / n_clients).
     """
     if scheme == "dirichlet":
         return dirichlet_partition(labels, n_clients, alpha, rng, min_samples)
@@ -151,6 +208,8 @@ def partition_indices(
         return iid_partition(labels, n_clients, rng)
     if scheme == "pathological":
         return pathological_partition(labels, n_clients, classes_per_client, rng)
+    if scheme == "virtual":
+        return virtual_partition(labels, n_clients, rng, samples_per_client)
     raise ValueError(f"unknown partition scheme {scheme!r}")
 
 
@@ -162,11 +221,13 @@ def partition_dataset(
     alpha: float = 10.0,
     classes_per_client: int = 2,
     min_samples: int = 2,
+    samples_per_client: int = 0,
 ) -> list[Dataset]:
     """Split a dataset into per-client datasets using the named scheme."""
     parts = partition_indices(
         dataset.labels, n_clients, rng,
         scheme=scheme, alpha=alpha,
         classes_per_client=classes_per_client, min_samples=min_samples,
+        samples_per_client=samples_per_client,
     )
     return [dataset.subset(p) for p in parts]

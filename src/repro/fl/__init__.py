@@ -17,7 +17,16 @@ from .parallel import (
     SequentialBackend,
     make_backend,
 )
-from .sampling import ClientSampler, ReputationSampler, UniformSampler
+from .population import (
+    ClientPopulation,
+    CSRPartition,
+    EagerPopulation,
+    PackedStateStore,
+    SeedParent,
+    VirtualClientPopulation,
+    VirtualPartition,
+)
+from .sampling import ClientSampler, ReputationSampler, UniformSampler, floyd_sample
 from .server import RoundContext, Server
 from .simulation import (
     build_federation,
@@ -72,6 +81,14 @@ __all__ = [
     "ClientSampler",
     "UniformSampler",
     "ReputationSampler",
+    "floyd_sample",
+    "ClientPopulation",
+    "EagerPopulation",
+    "VirtualClientPopulation",
+    "CSRPartition",
+    "VirtualPartition",
+    "PackedStateStore",
+    "SeedParent",
     "BroadcastMessage",
     "SubmitMessage",
     "Channel",

@@ -17,10 +17,13 @@ module factors that choice into a *training engine*:
 Bit-equivalence with the loop holds because every per-client RNG stream
 sees the same draw sequence (epoch permutations, Dropout masks, attack and
 CVAE draws) and stacked ``np.matmul``/elementwise math is bitwise identical
-per slice to the 2-D code path. The only observable difference is timing:
-a batched group yields one wall-clock measurement, reported as an equal
-per-client share — runs that *model* per-client compute time (latency
-channels, straggler deadlines) should keep ``engine="loop"``.
+per slice to the 2-D code path. The only observable difference is timing
+granularity: ``begin_fit``/``finish_fit`` (stream ingestion, CVAE
+training) are timed per client and each stacked group's wall clock is
+apportioned equally among that group's members, so per-client attribution
+tracks actual batch share and straggler deadlines (``deadline_s``) work
+without falling back to ``--engine loop``. Only intra-group variation
+(unequal compute on equal-sized datasets) is averaged away.
 
 Engines are selected by :attr:`repro.config.FederationConfig.engine`
 (CLI ``--engine {loop,batched}``) and plugged into the execution backends
@@ -193,9 +196,11 @@ class BatchedEngine(TrainingEngine):
         return shell
 
     @loop_fallback
-    def _begin_round(self, clients, round_idx: int) -> None:
+    def _begin_round(self, clients, round_idx: int, spent: dict) -> None:
         for client in clients:
+            t0 = time.perf_counter()
             client.begin_fit(round_idx)
+            spent[client.client_id] = time.perf_counter() - t0
 
     def _train_group(self, group, global_weights, trained) -> None:
         cfg = group[0].config
@@ -219,32 +224,40 @@ class BatchedEngine(TrainingEngine):
             trained[client.client_id] = (weights[i], float(losses[i]))
 
     @loop_fallback
-    def _finish_round(self, clients, trained, global_weights, include_decoder):
+    def _finish_round(self, clients, trained, global_weights, include_decoder,
+                      spent: dict):
         updates = []
         for client in clients:
             weights, train_loss = trained[client.client_id]
+            t0 = time.perf_counter()
             updates.append(
                 client.finish_fit(weights, global_weights, train_loss, include_decoder)
             )
+            spent[client.client_id] += time.perf_counter() - t0
         return updates
 
     def fit_clients(self, clients, global_weights, include_decoder, round_idx=0):
         if not clients:
             return [], []
-        t0 = time.perf_counter()
         global_weights = np.ascontiguousarray(global_weights, dtype=np.float64)
-        self._begin_round(clients, round_idx)
+        # Per-client attribution: individually timed begin/finish phases
+        # (stream ingestion, CVAE training land on the right client) plus
+        # an equal share of each stacked group's wall clock.
+        spent: dict[int, float] = {}
+        self._begin_round(clients, round_idx, spent)
         keyed = sorted(clients, key=lambda c: len(c.dataset))
         trained: dict[int, tuple[np.ndarray, float]] = {}
         for _, members in groupby(keyed, key=lambda c: len(c.dataset)):
-            self._train_group(list(members), global_weights, trained)
+            group = list(members)
+            t0 = time.perf_counter()
+            self._train_group(group, global_weights, trained)
+            share = (time.perf_counter() - t0) / len(group)
+            for client in group:
+                spent[client.client_id] += share
         updates = self._finish_round(
-            clients, trained, global_weights, include_decoder
+            clients, trained, global_weights, include_decoder, spent
         )
-        # One stacked pass yields one wall-clock number; report an equal
-        # share per client (per-client timing fidelity needs engine="loop").
-        share = (time.perf_counter() - t0) / len(clients)
-        return updates, [share] * len(clients)
+        return updates, [spent[client.client_id] for client in clients]
 
 
 ENGINE_KINDS = ("loop", "batched")

@@ -153,10 +153,45 @@ class FaultPlan:
         self._drop_prob = {BROADCAST: broadcast_drop_prob, SUBMIT: submit_drop_prob}
         self.link_faults: list[LinkFault] = []
         self.worker_crashes: list[WorkerCrash] = []
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """Rebuild the O(1) dispatch indexes from the flat fault lists.
+
+        Large federations send m messages per direction per round; a plan
+        that scans every fault per message is O(m · faults). The indexes
+        key link faults by ``(direction, client_id)`` (``None`` client in
+        a wildcard bucket) and crashes by round, so each query touches
+        only the faults that could possibly match.
+        """
+        self._faults_by_key: dict[tuple[str, int | None], list[LinkFault]] = {}
+        for fault in self.link_faults:
+            self._faults_by_key.setdefault(
+                (fault.direction, fault.client_id), []
+            ).append(fault)
+        self._crashes_by_round: dict[int, list[int]] = {}
+        for crash in self.worker_crashes:
+            self._crashes_by_round.setdefault(
+                crash.round_idx, []
+            ).append(crash.worker_idx)
+
+    def __getstate__(self) -> dict:
+        # Plans are plain data: pickle the scripts, rebuild the indexes.
+        state = self.__dict__.copy()
+        state.pop("_faults_by_key", None)
+        state.pop("_crashes_by_round", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._reindex()
 
     # -- fluent builders -----------------------------------------------------
     def add(self, fault: LinkFault) -> "FaultPlan":
         self.link_faults.append(fault)
+        self._faults_by_key.setdefault(
+            (fault.direction, fault.client_id), []
+        ).append(fault)
         return self
 
     def drop_broadcast(self, client_id=None, rounds=None, attempts=None) -> "FaultPlan":
@@ -189,30 +224,35 @@ class FaultPlan:
 
     def crash_worker(self, worker_idx: int, round_idx: int) -> "FaultPlan":
         self.worker_crashes.append(WorkerCrash(worker_idx, round_idx))
+        self._crashes_by_round.setdefault(round_idx, []).append(worker_idx)
         return self
 
     # -- queries (executed by FaultyChannel / the server's fit phase) --------
     def drop_prob(self, direction: str) -> float:
         return self._drop_prob[direction]
 
+    def _candidates(self, direction: str, client_id: int):
+        yield from self._faults_by_key.get((direction, client_id), ())
+        yield from self._faults_by_key.get((direction, None), ())
+
     def scripted_drop(
         self, direction: str, round_idx: int, client_id: int, attempt: int
     ) -> bool:
         return any(
             f.is_drop and f.matches(direction, round_idx, client_id, attempt)
-            for f in self.link_faults
+            for f in self._candidates(direction, client_id)
         )
 
     def delay_s(self, direction: str, round_idx: int, client_id: int) -> float:
         # Delays apply regardless of attempt: a slow link is slow every time.
         return sum(
             f.delay_s
-            for f in self.link_faults
+            for f in self._candidates(direction, client_id)
             if not f.is_drop and f.matches(direction, round_idx, client_id, 1)
         )
 
     def crashes(self, round_idx: int) -> list[int]:
-        return [c.worker_idx for c in self.worker_crashes if c.round_idx == round_idx]
+        return list(self._crashes_by_round.get(round_idx, ()))
 
 
 class FaultyChannel(Channel):

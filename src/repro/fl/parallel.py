@@ -289,6 +289,9 @@ def _resident_worker_main(conn) -> None:
 
     * ``("install", [ClientRecipe, ...])`` — rebuild and adopt clients;
       no reply (errors surface on the next round reply).
+    * ``("evict", [client_id, ...])`` — drop resident clients (LRU cap);
+      no reply. The main process harvests their state first, so a later
+      re-install resumes them bit-identically.
     * ``("round", round_idx, include_decoder, [client_id, ...],
       weights_ref, engine_kind)`` — fit the listed resident clients in
       order with the named training engine; replies
@@ -317,6 +320,14 @@ def _resident_worker_main(conn) -> None:
                     clients[recipe.client_id] = recipe.build()
             except Exception:  # noqa: BLE001 - forwarded to the main process
                 pending_error = traceback.format_exc()
+            continue
+        if kind == "evict":
+            for cid in message[1]:
+                clients.pop(cid, None)
+                # Forgetting the shipped version makes a re-installed
+                # client re-ship its decoder once; the main-process store
+                # just overwrites the same version.
+                shipped_versions.pop(cid, None)
             continue
         if kind == "harvest":
             try:
@@ -410,18 +421,34 @@ class ProcessPoolBackend(ExecutionBackend):
         (``"loop"`` or ``"batched"``; see :mod:`repro.fl.batched`).
         With ``"batched"`` every worker stacks its own clients, so the
         pool composes process parallelism with leading-axis batching.
+    resident_cap:
+        LRU cap on clients resident *per worker* (0 = unbounded, the PR 3
+        behavior). With a huge lazily-sampled population, unbounded
+        residency would accumulate every client ever sampled in worker
+        memory; the cap harvests the oldest clients' state back to the
+        main process and evicts them, so a re-sampled evicted client
+        re-installs with its harvested state and resumes bit-identically.
     """
 
     def __init__(self, max_workers: int | None = None,
-                 engine: str = "loop") -> None:
+                 engine: str = "loop", resident_cap: int = 0) -> None:
         super().__init__()
         self.max_workers = max_workers
         if engine not in ("loop", "batched"):
             raise ValueError(f"unknown engine kind {engine!r}")
+        if resident_cap < 0:
+            raise ValueError(f"resident_cap must be >= 0, got {resident_cap}")
         self.engine_kind = engine
+        self.resident_cap = resident_cap
         self._workers: list[_WorkerHandle] | None = None
         self._mp_ctx = None
         self._resident_ids: set[int] = set()
+        # Insertion-ordered LRU over resident ids (last = most recently
+        # dispatched); only consulted when resident_cap > 0.
+        self._lru: dict[int, None] = {}
+        # client_id -> harvested state_dict of an evicted client, applied
+        # to its recipe on the next install.
+        self._evicted_states: dict[int, dict] = {}
         # client_id -> (decoder_version, θ_j): replay store for updates
         # whose decoder stayed worker-side (already shipped earlier).
         self._decoder_store: dict[int, tuple[int, np.ndarray]] = {}
@@ -482,6 +509,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._resident_ids = {
             cid for cid in self._resident_ids if cid % n != worker_idx
         }
+        self._lru = {cid: None for cid in self._lru if cid % n != worker_idx}
         self.respawns += 1
 
     def _reap_dead_workers(self) -> None:
@@ -511,12 +539,20 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         workers = self._workers
         for final in (False, True):
-            fresh = [
-                client.make_recipe()
-                for client in group
-                if client.client_id not in self._resident_ids
-            ]
+            fresh = []
+            for client in group:
+                if client.client_id in self._resident_ids:
+                    continue
+                recipe = client.make_recipe()
+                state = self._evicted_states.get(client.client_id)
+                if state is not None:
+                    # Previously evicted: resume from the harvested state
+                    # instead of replaying construction from scratch.
+                    recipe.state = state
+                fresh.append(recipe)
             try:
+                if self.resident_cap:
+                    self._evict_overflow(worker_idx, group)
                 if fresh:
                     workers[worker_idx].send(("install", fresh))
                 workers[worker_idx].send(
@@ -524,12 +560,51 @@ class ProcessPoolBackend(ExecutionBackend):
                      [client.client_id for client in group], ref,
                      self.engine_kind)
                 )
-                self._resident_ids.update(recipe.client_id for recipe in fresh)
+                for recipe in fresh:
+                    self._resident_ids.add(recipe.client_id)
+                    self._evicted_states.pop(recipe.client_id, None)
+                if self.resident_cap:
+                    for client in group:
+                        self._lru.pop(client.client_id, None)
+                        self._lru[client.client_id] = None
                 return
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, EOFError, OSError):
                 if final:
                     raise
                 self._respawn_worker(worker_idx)
+
+    def _evict_overflow(self, worker_idx: int, group: list[FLClient]) -> None:
+        """Harvest-then-evict the worker's oldest residents over the cap.
+
+        Eviction never touches this round's group; if the group alone
+        exceeds the cap, everything else is evicted and the group stays.
+        Harvest runs *before* the evict message, so the evicted state is
+        safely in ``_evicted_states`` by the time the worker drops it.
+        """
+        workers = self._workers
+        n = len(workers)
+        group_ids = {client.client_id for client in group}
+        resident_here = [
+            cid for cid in self._lru
+            if cid % n == worker_idx and cid in self._resident_ids
+        ]
+        incoming = len(group_ids - self._resident_ids)
+        future = len(resident_here) + incoming
+        evictable = [cid for cid in resident_here if cid not in group_ids]
+        to_evict = evictable[: max(future - self.resident_cap, 0)]
+        if not to_evict:
+            return
+        workers[worker_idx].send(("harvest", to_evict))
+        status, payload = workers[worker_idx].recv()
+        if status == "error":
+            raise RuntimeError(f"resident worker evict-harvest failed:\n{payload}")
+        if status != "ok":
+            raise RuntimeError(f"unexpected worker reply tag {status!r}")
+        self._evicted_states.update(payload)
+        workers[worker_idx].send(("evict", to_evict))
+        for cid in to_evict:
+            self._resident_ids.discard(cid)
+            self._lru.pop(cid, None)
 
     def _collect_round(self, worker_idx: int, group: list[FLClient],
                        round_idx: int, include_decoder: bool, ref) -> list[dict]:
@@ -631,21 +706,27 @@ class ProcessPoolBackend(ExecutionBackend):
     def client_states(self, client_ids: list[int]) -> dict[int, dict] | None:
         """Harvest authoritative checkpoint state from the workers.
 
-        Only resident clients appear in the result — ids never fitted on
-        this backend are absent, and the caller falls back to the
-        main-process shell (which *is* authoritative for them).
+        Only clients this backend ever fitted appear in the result —
+        resident ones are harvested live, LRU-evicted ones answer from the
+        main-process ``_evicted_states`` copy (harvested at eviction, still
+        authoritative: the worker no longer holds them). Ids never fitted
+        here are absent, and the caller falls back to the population
+        (which *is* authoritative for them).
         """
         if self._workers is None:
             return {}
         self._reap_dead_workers()
         n = len(self._workers)
         by_worker: dict[int, list[int]] = {}
+        evicted: dict[int, dict] = {}
         for cid in client_ids:
             if cid in self._resident_ids:
                 by_worker.setdefault(cid % n, []).append(cid)
+            elif cid in self._evicted_states:
+                evicted[cid] = self._evicted_states[cid]
         for worker_idx, ids in by_worker.items():
             self._workers[worker_idx].send(("harvest", ids))
-        harvested: dict[int, dict] = {}
+        harvested: dict[int, dict] = dict(evicted)
         for worker_idx in by_worker:
             status, payload = self._workers[worker_idx].recv()
             if status == "error":
@@ -661,6 +742,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 worker.shutdown()
             self._workers = None
             self._resident_ids.clear()
+            self._lru.clear()
+            self._evicted_states.clear()
             self._decoder_store.clear()
 
     def __enter__(self) -> "ProcessPoolBackend":
@@ -806,7 +889,10 @@ def make_backend(config) -> ExecutionBackend:
     if kind == "sequential":
         return SequentialBackend(engine=engine)
     if kind == "process":
-        return ProcessPoolBackend(max_workers=workers, engine=engine)
+        return ProcessPoolBackend(
+            max_workers=workers, engine=engine,
+            resident_cap=getattr(config, "population_resident_cap", 0),
+        )
     if kind == "process_legacy":
         if engine != "loop":
             raise ValueError(

@@ -77,12 +77,12 @@ class Server:
 
     def __init__(
         self,
-        clients: list[FLClient],
-        strategy: Strategy,
-        config: FederationConfig,
-        test_dataset: Dataset,
-        context: ServerContext,
-        rng: np.random.Generator,
+        clients: list[FLClient] | None = None,
+        strategy: Strategy = None,
+        config: FederationConfig = None,
+        test_dataset: Dataset = None,
+        context: ServerContext = None,
+        rng: np.random.Generator = None,
         scenario_name: str = "no_attack",
         scenario=None,
         initial_weights: np.ndarray | None = None,
@@ -91,10 +91,19 @@ class Server:
         sampler=None,
         channel: Channel | None = None,
         record_geometry: bool = False,
+        population=None,
     ) -> None:
-        if not clients:
+        if population is None:
+            if not clients:
+                raise ValueError("server needs at least one client")
+            from .population import EagerPopulation
+
+            population = EagerPopulation(clients)
+        elif clients is not None:
+            raise ValueError("pass either clients or population, not both")
+        if population.size == 0:
             raise ValueError("server needs at least one client")
-        self.clients = clients
+        self.population = population
         self.strategy = strategy
         self.config = config
         self.test_dataset = test_dataset
@@ -136,16 +145,24 @@ class Server:
         self._setup_done = False
 
     # -- pieces ------------------------------------------------------------
+    @property
+    def clients(self):
+        """Sequence view over the population (lazy populations materialize
+        clients on access; hold a reference if you need object identity)."""
+        return self.population.clients_view()
+
     def sample_clients(self) -> list[FLClient]:
         """Sample m participating clients (Alg. 1, line 17).
 
         Uniform by default; a :class:`~repro.fl.sampling.ReputationSampler`
-        biases selection toward clients with good audit history.
+        biases selection toward clients with good audit history. The
+        sampled ids are checked out of the population — for a lazy
+        population that is the *only* point clients materialize.
         """
         ids = self.sampler.sample(
-            len(self.clients), self.config.clients_per_round, self.rng
+            self.population.size, self.config.clients_per_round, self.rng
         )
-        return [self.clients[i] for i in ids]
+        return self.population.checkout(ids)
 
     def evaluate(self, weights: np.ndarray | None = None) -> float:
         """Global test accuracy of the (given or current) global model."""
@@ -165,8 +182,12 @@ class Server:
         poorly is invisible in the central average).
         """
         vec = self.global_weights if weights is None else weights
-        accuracies = np.array([c.evaluate(vec) for c in self.clients])
-        sizes = np.array([c.num_samples for c in self.clients], dtype=np.float64)
+        accuracies, sizes = [], []
+        for client in self.population.iter_clients():
+            accuracies.append(client.evaluate(vec))
+            sizes.append(client.num_samples)
+        accuracies = np.array(accuracies)
+        sizes = np.array(sizes, dtype=np.float64)
         return {
             "weighted_accuracy": float(np.average(accuracies, weights=sizes)),
             "per_client": accuracies,
@@ -347,6 +368,9 @@ class Server:
 
         record = self._make_record(ctx)
         self.sampler.observe(record)
+        # Lazy populations absorb the participants' post-round state into
+        # packed arrays here; the materialized objects then evaporate.
+        self.population.checkin(ctx.participants)
         return record
 
     def _make_record(self, ctx: RoundContext) -> RoundRecord:

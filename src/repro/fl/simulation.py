@@ -132,40 +132,91 @@ def build_federation(
     n_aux = max(int(config.train_samples * AUX_FRACTION), 32)
     auxiliary = generate_dataset(n_aux, data_rng, synth_cfg) if strategy.needs_auxiliary else None
 
-    part_indices = partition_indices(
-        train.labels,
-        config.n_clients,
-        partition_rng,
-        scheme=config.partition_scheme,
-        alpha=config.partition_alpha,
-    )
-    partitions = [train.subset(p) for p in part_indices]
-
-    malicious_ids = scenario.malicious_ids(config.n_clients, malicious_rng)
-    client_rngs = clients_rng.spawn(config.n_clients)
-
-    streams: list = [None] * config.n_clients
-    if config.stream_samples_per_round > 0:
-        from ..data.stream import SynthMnistStream
-
-        stream_rngs = data_rng.spawn(config.n_clients)
-        streams = [
-            SynthMnistStream(stream_rngs[cid], synth_cfg)
-            for cid in range(config.n_clients)
-        ]
-
-    clients = [
-        FLClient(
-            client_id=cid,
-            dataset=partitions[cid],
-            config=config,
-            rng=client_rngs[cid],
-            attack=scenario.attack if cid in malicious_ids else None,
-            stream=streams[cid],
-            partition_indices=part_indices[cid],
+    lazy = config.population == "lazy"
+    if lazy:
+        # The tentpole path: no per-client objects, spawns, or subsets are
+        # built here. Clients materialize on sampling from index-derived
+        # seeds, bit-identical to the eager construction below.
+        from .population import (
+            CSRPartition,
+            SeedParent,
+            VirtualClientPopulation,
+            VirtualPartition,
         )
-        for cid in range(config.n_clients)
-    ]
+
+        if config.partition_scheme == "virtual":
+            partition = VirtualPartition(
+                n_samples=len(train),
+                n_clients=config.n_clients,
+                samples_per_client=(
+                    config.virtual_samples_per_client
+                    or max(len(train) // config.n_clients, 1)
+                ),
+                parent=SeedParent.capture(partition_rng),
+            )
+        else:
+            # Global schemes (Dirichlet/IID/pathological) are inherently
+            # O(n) to *derive*; the CSR pair is built once and per-client
+            # membership stays a zero-copy slice thereafter.
+            partition = CSRPartition(partition_indices(
+                train.labels,
+                config.n_clients,
+                partition_rng,
+                scheme=config.partition_scheme,
+                alpha=config.partition_alpha,
+            ))
+        population = VirtualClientPopulation(
+            config=config,
+            train_pool=train,
+            partition=partition,
+            malicious_ids=scenario.malicious_ids(config.n_clients, malicious_rng),
+            attack=scenario.attack,
+            client_parent=SeedParent.capture(clients_rng),
+            stream_parent=(
+                SeedParent.capture(data_rng)
+                if config.stream_samples_per_round > 0 else None
+            ),
+            synth_cfg=synth_cfg,
+            store=config.population_store,
+        )
+        clients = None
+    else:
+        population = None
+        part_indices = partition_indices(
+            train.labels,
+            config.n_clients,
+            partition_rng,
+            scheme=config.partition_scheme,
+            alpha=config.partition_alpha,
+            samples_per_client=config.virtual_samples_per_client,
+        )
+        partitions = [train.subset(p) for p in part_indices]
+
+        malicious_ids = scenario.malicious_ids(config.n_clients, malicious_rng)
+        client_rngs = clients_rng.spawn(config.n_clients)  # repro: noqa[RG206] — the eager path's contract
+
+        streams: list = [None] * config.n_clients  # repro: noqa[RG206] — the eager path's contract
+        if config.stream_samples_per_round > 0:
+            from ..data.stream import SynthMnistStream
+
+            stream_rngs = data_rng.spawn(config.n_clients)  # repro: noqa[RG206] — the eager path's contract
+            streams = [
+                SynthMnistStream(stream_rngs[cid], synth_cfg)
+                for cid in range(config.n_clients)  # repro: noqa[RG206] — the eager path's contract
+            ]
+
+        clients = [
+            FLClient(
+                client_id=cid,
+                dataset=partitions[cid],
+                config=config,
+                rng=client_rngs[cid],
+                attack=scenario.attack if cid in malicious_ids else None,
+                stream=streams[cid],
+                partition_indices=part_indices[cid],
+            )
+            for cid in range(config.n_clients)  # repro: noqa[RG206] — the eager path's contract
+        ]
 
     # Snapshot the classifier stream first: its replayed state matches the
     # seed discipline's first factory call (the server's eval shell, i.e.
@@ -205,6 +256,7 @@ def build_federation(
 
     return Server(
         clients=clients,
+        population=population,
         strategy=strategy,
         config=config,
         test_dataset=test,
@@ -226,10 +278,12 @@ def federation_state(server: Server, history) -> dict:
 
     The payload pickles the *objects* that carry evolving state (strategy,
     scenario, sampler, channel, history) plus explicit state dicts for the
-    server's RNGs, the global model, and every client. Client state is
-    harvested from the execution backend when it is authoritative (the
-    worker-resident pool); otherwise the main-process clients are read
-    directly. The execution backend itself is never pickled — it holds live
+    server's RNGs, the global model, and every client the population says
+    needs one (eager: all; lazy: only clients that ever participated —
+    untouched clients restore bit-identically from construction replay).
+    Client state is harvested from the execution backend when it is
+    authoritative (the worker-resident pool); otherwise the population is
+    read directly. The execution backend itself is never pickled — it holds live
     processes and is rebuilt from the config (or caller override) on
     restore.
 
@@ -237,11 +291,11 @@ def federation_state(server: Server, history) -> dict:
     (runtime collusion) are not harvested — but process backends reject
     those scenarios up front, so every checkpointable run is covered.
     """
-    client_ids = [client.client_id for client in server.clients]
+    client_ids = server.population.checkpoint_ids()
     harvested = server.backend.client_states(client_ids) or {}
     client_states: dict[int, dict] = {
-        client.client_id: harvested.get(client.client_id) or client.state_dict()
-        for client in server.clients
+        cid: harvested.get(cid) or server.population.state_for(cid)
+        for cid in client_ids
     }
     last_round = history.rounds[-1].round_idx if history.rounds else 0
     return {
@@ -304,9 +358,8 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
     server.rng.bit_generator.state = state["server_rng"]
     server.context.rng.bit_generator.state = state["context_rng"]
     server._setup_done = state["setup_done"]
-    by_id = {client.client_id: client for client in server.clients}
     for client_id, client_state in state["clients"].items():
-        by_id[client_id].load_state_dict(client_state)
+        server.population.import_state(client_id, client_state)
     return server, history
 
 

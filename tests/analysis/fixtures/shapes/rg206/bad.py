@@ -1,0 +1,26 @@
+"""Bad twin: eager O(n_clients) enumeration outside the population
+module (RG206).
+
+Every pattern here materializes work or memory proportional to the full
+federation size; the lazy population derives the same state per index,
+on demand.
+"""
+
+
+def build_all_clients(config, make_client):
+    clients = []
+    for cid in range(config.n_clients):  # expect: RG206
+        clients.append(make_client(cid))
+    return clients
+
+
+def build_by_comprehension(n_clients, make_client):
+    return [make_client(cid) for cid in range(n_clients)]  # expect: RG206
+
+
+def fan_out_rngs(rng, config):
+    return rng.spawn(config.n_clients)  # expect: RG206
+
+
+def preallocate_slots(n_clients):
+    return [None] * n_clients  # expect: RG206

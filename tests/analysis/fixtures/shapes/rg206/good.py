@@ -1,0 +1,19 @@
+"""Good twin: the same jobs done lazily in O(clients_per_round).
+
+Only sampled indices are enumerated; per-index RNG children come from
+spawn-key arithmetic instead of an eager fan-out, and mutable state
+lives in a dict keyed by the touched ids.
+"""
+
+
+def build_sampled_clients(sampled_ids, make_client):
+    return [make_client(cid) for cid in sampled_ids]
+
+
+def child_rng_for(parent, cid, make_seed):
+    # Index-keyed derivation: O(1) per client, nothing materialized.
+    return make_seed(parent.entropy, parent.spawn_key + (parent.base + cid,))
+
+
+def touched_state(store, sampled_ids):
+    return {cid: store.get(cid) for cid in sampled_ids}

@@ -79,11 +79,75 @@ class TestReputationSampler:
             seen.update(sampler.sample(5, 2, rng).tolist())
         assert 4 in seen
 
-    def test_population_size_mismatch(self, rng):
-        sampler = ReputationSampler()
+    def test_population_resize_is_graceful(self, rng):
+        # Virtual populations make N a free parameter: growing keeps all
+        # touched reputations, shrinking drops the ones beyond the range.
+        sampler = ReputationSampler(decay=0.5)
         sampler.sample(5, 2, rng)
+        sampler.observe(record(sampled=[1, 4], accepted=[1]))
+        ids = sampler.sample(8, 3, rng)
+        assert len(ids) == 3 and ids.max() < 8
+        rep = sampler.reputation(8)
+        assert rep[4] == pytest.approx(0.5)
+        rep = sampler.reputation(3)  # shrink below cid 4
+        np.testing.assert_array_equal(rep, np.ones(3))
+        assert sampler.reputation(8)[4] == pytest.approx(1.0)  # dropped
+
+    def test_sparse_path_respects_reputation(self):
+        # Above the exact_below threshold the two-group draw must still
+        # sample hammered clients less and keep costs off O(n_clients).
+        sampler = ReputationSampler(decay=0.1, epsilon=0.05, exact_below=1)
+        rng = np.random.default_rng(0)
+        sampler.sample(10, 2, rng)
+        for _ in range(10):
+            sampler.observe(record(sampled=[9, 0], accepted=[0]))
+        counts = np.zeros(10)
+        for _ in range(300):
+            ids = sampler.sample(10, 3, rng)
+            assert len(np.unique(ids)) == 3
+            for cid in ids:
+                counts[cid] += 1
+        assert counts[9] < counts[0] * 0.5
+
+    def test_sparse_path_scales_to_huge_populations(self):
+        sampler = ReputationSampler(exact_below=1 << 10)
+        rng = np.random.default_rng(0)
+        ids = sampler.sample(1_000_000, 500, rng)
+        assert len(ids) == 500
+        assert len(np.unique(ids)) == 500
+        sampler.observe(record(sampled=ids.tolist(), accepted=ids[:250].tolist()))
+        ids2 = sampler.sample(1_000_000, 500, rng)
+        assert len(np.unique(ids2)) == 500
+
+
+class TestFloydSample:
+    def test_uniform_subset(self):
+        from repro.fl.sampling import floyd_sample
+
+        rng = np.random.default_rng(0)
+        counts = np.zeros(8)
+        for _ in range(4000):
+            ids = floyd_sample(8, 3, rng)
+            assert len(np.unique(ids)) == 3
+            counts[ids] += 1
+        # each of the 8 ids appears in 3/8 of samples
+        expected = 4000 * 3 / 8
+        assert np.all(np.abs(counts - expected) < 0.15 * expected)
+
+    def test_bounds(self):
+        from repro.fl.sampling import floyd_sample
+
+        rng = np.random.default_rng(0)
+        assert floyd_sample(5, 0, rng).size == 0
+        assert sorted(floyd_sample(5, 5, rng).tolist()) == [0, 1, 2, 3, 4]
         with pytest.raises(ValueError):
-            sampler.sample(6, 2, rng)
+            floyd_sample(3, 4, rng)
+
+    def test_uniform_sampler_switches_to_floyd(self):
+        sampler = UniformSampler(exact_below=10)
+        rng = np.random.default_rng(0)
+        ids = sampler.sample(1_000_000, 100, rng)
+        assert len(np.unique(ids)) == 100
 
 
 class TestServerIntegration:
