@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Async-mode benchmark: simulated time to target accuracy, sync vs async.
+
+Runs the same FedGuard federation over a heterogeneous ``LatencyChannel``
+in both server modes — the paper's barrier round and FedBuff-style
+buffered aggregation — under a clean and a 30 %-poisoned scenario, and
+reports *simulated* time to each target accuracy. The barrier pays the
+slowest sampled link every round (``link_time_max_s``); the buffered
+mode flushes the first ``buffer_size`` arrivals and lets stragglers
+land late with a staleness discount, so its clock (``sim_time_s``)
+advances at the pace of the fast quantile instead.
+
+Every reported number is a pure function of the seed: event ordering,
+latencies, and flush timing live on the simulated clock (never wall
+clock), so the JSON artifact is bit-reproducible on any host and the
+gates below run even on single-core CI runners — there is no timer
+noise to skip them for.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async_mode.py           # full
+    PYTHONPATH=src python benchmarks/bench_async_mode.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_async_mode.py --smoke --check
+
+Always enforced: the async cells replay bit-identically (two runs per
+cell) and both clocks advance strictly monotonically. ``--check`` adds
+the speedup floor: async must reach the lowest target accuracy in no
+more simulated time than sync in both scenarios.
+
+Output: a JSON report (default ``benchmarks/out/BENCH_async.json``;
+``--smoke`` writes ``BENCH_async_smoke.json`` so the checked-in
+full-run artifact stays stable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import FederationConfig  # noqa: E402
+from repro.experiments import run_cell  # noqa: E402
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+STRATEGY = "fedguard"
+SCENARIOS = ("no_attack", "label_flipping_30")
+TARGETS = (0.5, 0.6, 0.7)
+SPEEDUP_FLOOR = 1.0  # async sim-time-to-target must not exceed sync's
+
+
+def bench_config(server_mode: str, rounds: int, seed: int) -> FederationConfig:
+    """The golden-history async cell, at benchmark length.
+
+    ``buffer_size=3`` of a 4-client cohort keeps the flush quorum under
+    the barrier cohort — the regime FedBuff targets, where the server
+    stops waiting for the latency tail. The data budget (600 samples,
+    two local epochs, lr 0.1) is the smallest that actually *learns* on
+    the synthetic glyphs — time-to-target needs an accuracy curve that
+    leaves chance.
+    """
+    overrides = dict(
+        rounds=rounds, seed=seed, channel="latency",
+        channel_latency_base_s=0.05, channel_latency_spread=0.6,
+        train_samples=600, test_samples=120, local_epochs=2, client_lr=0.1,
+    )
+    if server_mode == "async":
+        overrides.update(server_mode="async", buffer_size=3, max_staleness=4)
+    return FederationConfig.tiny(**overrides)
+
+
+def simulated_clock(history, server_mode: str) -> list[float]:
+    """Cumulative simulated seconds at the end of each round/flush."""
+    if server_mode == "async":
+        return [r.metrics["sim_time_s"] for r in history.rounds]
+    clock, now = [], 0.0
+    for r in history.rounds:
+        now += r.metrics["link_time_max_s"]
+        clock.append(now)
+    return clock
+
+
+def time_to_targets(clock: list[float], accuracies: list[float]) -> dict:
+    """Simulated seconds until each target accuracy is first reached."""
+    out = {}
+    for target in TARGETS:
+        hit = next(
+            (t for t, acc in zip(clock, accuracies) if acc >= target), None
+        )
+        out[f"{target:.1f}"] = hit
+    return out
+
+
+def _comparable(history) -> list:
+    """Every seed-pure field of a history (wall-clock metrics stripped)."""
+    return [
+        (r.round_idx, r.accuracy, tuple(r.sampled_ids), tuple(r.accepted_ids),
+         tuple(r.rejected_ids), r.upload_nbytes, r.download_nbytes,
+         tuple(sorted(
+             (k, v) for k, v in r.metrics.items()
+             if not k.endswith("_s") or k in ("link_time_max_s", "sim_time_s")
+         )))
+        for r in history.rounds
+    ]
+
+
+def bench_cell(server_mode: str, scenario: str, rounds: int, seed: int) -> dict:
+    config = bench_config(server_mode, rounds, seed)
+    history = run_cell(config, STRATEGY, scenario)
+    replay = run_cell(config, STRATEGY, scenario)
+    if _comparable(history) != _comparable(replay):
+        raise SystemExit(
+            f"FAIL: {server_mode}/{scenario} did not replay bit-identically"
+        )
+    clock = simulated_clock(history, server_mode)
+    if any(b <= a for a, b in zip(clock, clock[1:])) or clock[0] <= 0.0:
+        raise SystemExit(
+            f"FAIL: {server_mode}/{scenario} simulated clock is not "
+            f"strictly increasing: {clock}"
+        )
+    accuracies = [r.accuracy for r in history.rounds]
+    return {
+        "server_mode": server_mode,
+        "scenario": scenario,
+        "rounds": rounds,
+        "final_accuracy": accuracies[-1],
+        "best_accuracy": max(accuracies),
+        "sim_total_s": clock[-1],
+        "sim_s_per_round": clock[-1] / len(clock),
+        "time_to_target_s": time_to_targets(clock, accuracies),
+        "stale_dropped": sum(
+            r.metrics.get("stale_dropped", 0) for r in history.rounds
+        ),
+        "staleness_max": max(
+            (r.metrics.get("staleness_max", 0.0) for r in history.rounds),
+            default=0.0,
+        ),
+        "trajectory": [
+            {"sim_time_s": t, "accuracy": a} for t, a in zip(clock, accuracies)
+        ],
+    }
+
+
+def check_floor(cells: dict) -> list[str]:
+    """The CI gate; returns a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    low = f"{TARGETS[0]:.1f}"
+    for scenario in SCENARIOS:
+        sync_t = cells[("sync", scenario)]["time_to_target_s"][low]
+        async_t = cells[("async", scenario)]["time_to_target_s"][low]
+        if sync_t is None or async_t is None:
+            failures.append(
+                f"{scenario}: target {low} unreached "
+                f"(sync={sync_t}, async={async_t})"
+            )
+        elif async_t > sync_t / SPEEDUP_FLOOR:
+            failures.append(
+                f"{scenario}: async took {async_t:.2f} simulated s to "
+                f"accuracy {low}, sync only {sync_t:.2f} s "
+                f"(floor {SPEEDUP_FLOOR:.1f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer rounds (CI budget)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if the speedup floor is missed")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="sync rounds (default: 12, or 5 with --smoke); "
+                             "async runs 4/3 as many flushes to match the "
+                             "aggregated-update budget")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+
+    sync_rounds = args.rounds or (5 if args.smoke else 12)
+    # buffer 3 vs cohort 4: match total aggregated updates, not calls.
+    async_rounds = (sync_rounds * 4 + 2) // 3
+    out_path = args.out or (
+        OUT_DIR / ("BENCH_async_smoke.json" if args.smoke else "BENCH_async.json")
+    )
+
+    cells = {}
+    for scenario in SCENARIOS:
+        for server_mode, rounds in (("sync", sync_rounds),
+                                    ("async", async_rounds)):
+            cell = bench_cell(server_mode, scenario, rounds, args.seed)
+            cells[(server_mode, scenario)] = cell
+            hit = cell["time_to_target_s"][f"{TARGETS[0]:.1f}"]
+            print(
+                f"{server_mode:5s} {scenario:18s} "
+                f"final={cell['final_accuracy']:.3f}  "
+                f"sim={cell['sim_total_s']:7.2f}s  "
+                f"to {TARGETS[0]:.1f}: "
+                + (f"{hit:6.2f}s" if hit is not None else "   n/a")
+            )
+    print("all cells replayed bit-identically; simulated clocks monotone")
+
+    derived = {}
+    for scenario in SCENARIOS:
+        low = f"{TARGETS[0]:.1f}"
+        sync_t = cells[("sync", scenario)]["time_to_target_s"][low]
+        async_t = cells[("async", scenario)]["time_to_target_s"][low]
+        derived[f"sync_over_async_time_x__{scenario}"] = (
+            sync_t / async_t if sync_t and async_t else None
+        )
+
+    report = {
+        "meta": {
+            "generated_by": "benchmarks/bench_async_mode.py",
+            "smoke": args.smoke,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "strategy": STRATEGY,
+            "seed": args.seed,
+            "targets": list(TARGETS),
+            "workload": "FedGuard, tiny MLP, LatencyChannel base 0.05 s "
+                        "spread 0.6; sync cohort 4 vs async buffer 3 "
+                        "(max_staleness 4), update budgets matched",
+            "note": "all values simulated — bit-reproducible on any host",
+        },
+        "results": list(cells.values()),
+        "derived": derived,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {out_path}")
+
+    if args.check:
+        failures = check_floor(cells)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

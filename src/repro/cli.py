@@ -49,6 +49,7 @@ from .experiments import (
     table5_analytic,
 )
 from .experiments.storage import load_matrix, save_history, save_manifest, save_matrix
+from .fl.modes import STALENESS_WEIGHTS
 
 __all__ = ["main", "build_parser"]
 
@@ -126,6 +127,23 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checkpoint-every", type=int, default=None,
                         help="checkpoint the full federation every k rounds "
                              "(0 = off; requires --checkpoint)")
+    parser.add_argument("--server-mode", choices=["sync", "async"], default=None,
+                        help="round mode (default: sync barrier rounds; "
+                             "'async' = FedBuff-style buffered aggregation — "
+                             "each round flushes the first --buffer-size "
+                             "arrivals, staleness-discounted)")
+    parser.add_argument("--buffer-size", type=int, default=None,
+                        help="async: arrivals aggregated per flush "
+                             "(0 = clients_per_round; implies --server-mode async)")
+    parser.add_argument("--max-staleness", type=int, default=None,
+                        help="async: drop updates trained against a model more "
+                             "than this many flushes old (0 = keep all; "
+                             "implies --server-mode async)")
+    parser.add_argument("--staleness-weight", default=None,
+                        choices=sorted(STALENESS_WEIGHTS),
+                        help="async: staleness discount schedule "
+                             "(default: rsqrt = 1/sqrt(1+s); "
+                             "implies --server-mode async)")
 
 
 def _config_from_args(args) -> FederationConfig:
@@ -179,6 +197,17 @@ def _config_from_args(args) -> FederationConfig:
         overrides["min_quorum"] = args.min_quorum
     if getattr(args, "checkpoint_every", None) is not None:
         overrides["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "server_mode", None) is not None:
+        overrides["server_mode"] = args.server_mode
+    if getattr(args, "buffer_size", None) is not None:
+        overrides["buffer_size"] = args.buffer_size
+        overrides.setdefault("server_mode", "async")
+    if getattr(args, "max_staleness", None) is not None:
+        overrides["max_staleness"] = args.max_staleness
+        overrides.setdefault("server_mode", "async")
+    if getattr(args, "staleness_weight", None) is not None:
+        overrides["staleness_weight"] = args.staleness_weight
+        overrides.setdefault("server_mode", "async")
     base = (
         FederationConfig.tiny
         if getattr(args, "profile", "scaled") == "tiny"

@@ -138,6 +138,15 @@ class FederationConfig:
     min_quorum: int = 0                 # skip the round below this many delivered updates
     checkpoint_every: int = 0           # checkpoint the federation every k rounds (0 = off)
 
+    # server round mode (repro.fl.modes; "async" is FedBuff-style buffered
+    # aggregation — each round flushes the first buffer_size arrivals with
+    # staleness-discounted weights; "sync" keeps the paper's barrier round)
+    server_mode: str = "sync"           # "sync" | "async"
+    buffer_size: int = 0                # async: arrivals per flush (0 = clients_per_round)
+    max_staleness: int = 0              # async: drop updates staler than this many flushes (0 = keep all)
+    staleness_weight: str = "rsqrt"     # async discount: "rsqrt" 1/√(1+s) | "inverse" | "constant"
+    async_concurrency: int = 0          # async: clients in flight at once (0 = clients_per_round)
+
     # models
     model: ModelConfig = field(default_factory=ModelConfig)
 
@@ -215,6 +224,29 @@ class FederationConfig:
             raise ValueError(
                 f"min_quorum must be in [0, clients_per_round="
                 f"{self.clients_per_round}], got {self.min_quorum}"
+            )
+        if self.server_mode not in ("sync", "async"):
+            raise ValueError(
+                f"unknown server mode {self.server_mode!r}; "
+                f"expected one of ('sync', 'async')"
+            )
+        for name in ("buffer_size", "max_staleness", "async_concurrency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.buffer_size > self.n_clients:
+            raise ValueError(
+                f"buffer_size ({self.buffer_size}) exceeds n_clients "
+                f"({self.n_clients}); a flush samples distinct clients"
+            )
+        if self.async_concurrency > self.n_clients:
+            raise ValueError(
+                f"async_concurrency ({self.async_concurrency}) exceeds "
+                f"n_clients ({self.n_clients})"
+            )
+        if not self.staleness_weight or not isinstance(self.staleness_weight, str):
+            raise ValueError(
+                f"staleness_weight must be a non-empty registry key, "
+                f"got {self.staleness_weight!r}"
             )
 
     @property

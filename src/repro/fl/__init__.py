@@ -9,6 +9,13 @@ from .faults import (
     inject_worker_crashes,
 )
 from .history import History, RoundRecord
+from .modes import (
+    STALENESS_WEIGHTS,
+    AsyncBufferedMode,
+    ServerMode,
+    SyncRoundMode,
+    make_server_mode,
+)
 from .parallel import (
     ExecutionBackend,
     IPCStats,
@@ -60,6 +67,11 @@ __all__ = [
     "weighted_average",
     "Server",
     "RoundContext",
+    "ServerMode",
+    "SyncRoundMode",
+    "AsyncBufferedMode",
+    "STALENESS_WEIGHTS",
+    "make_server_mode",
     "History",
     "RoundRecord",
     "build_federation",

@@ -137,11 +137,19 @@ class History:
         clients were selected but no update arrived (the global model idles
         through those); ``idle_rounds`` counts rounds where nothing was
         selected in the first place, which is not a transport failure.
+
+        Async buffer flushes are accounted separately: a flush that
+        aggregated only arrivals dispatched in an *earlier* window selects
+        nobody in its own window, which is normal pipelining — not an idle
+        round — so flush records are excluded from ``idle_rounds`` and
+        reported as ``buffer_flushes`` (with the total of updates the
+        staleness bound discarded in ``stale_dropped``).
         """
         if not self.rounds:
             raise ValueError("history is empty")
         selected = sum(self._n_selected(r) for r in self.rounds)
         delivered = sum(r.delivered_updates for r in self.rounds)
+        flushes = [r for r in self.rounds if r.metrics.get("buffer_flush")]
         return {
             "selected": selected,
             "delivered": delivered,
@@ -154,7 +162,13 @@ class History:
                 if self._n_selected(r) and not r.sampled_ids
             ),
             "idle_rounds": sum(
-                1 for r in self.rounds if not self._n_selected(r)
+                1
+                for r in self.rounds
+                if not self._n_selected(r) and not r.metrics.get("buffer_flush")
+            ),
+            "buffer_flushes": len(flushes),
+            "stale_dropped": sum(
+                r.metrics.get("stale_dropped", 0) for r in self.rounds
             ),
         }
 

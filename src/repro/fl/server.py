@@ -92,6 +92,7 @@ class Server:
         channel: Channel | None = None,
         record_geometry: bool = False,
         population=None,
+        mode=None,
     ) -> None:
         if population is None:
             if not clients:
@@ -133,6 +134,11 @@ class Server:
 
             channel = InMemoryChannel()
         self.channel = channel
+        if mode is None:
+            from .modes import make_server_mode
+
+            mode = make_server_mode(config)
+        self.mode = mode
         # Optional per-round update-space diagnostics (norm dispersion,
         # pairwise cosines) recorded into the round metrics.
         self.record_geometry = record_geometry
@@ -356,22 +362,20 @@ class Server:
 
     # -- the round loop ------------------------------------------------------
     def run_round(self, round_idx: int) -> RoundRecord:
-        """Execute one federated round and return its record."""
+        """Execute one round (sync) or flush window (async); returns its record.
+
+        Control flow is delegated to the server's
+        :class:`~repro.fl.modes.ServerMode`: the default
+        ``SyncRoundMode`` runs every phase once over the full cohort
+        (byte-identical to the pre-mode loop), an ``AsyncBufferedMode``
+        drives the phases from a simulated-time event queue and flushes
+        a buffer of arrivals per call. Either way, one call produces one
+        :class:`~repro.fl.history.RoundRecord`.
+        """
         if not self._setup_done:
             self.strategy.setup(self.context)
             self._setup_done = True
-
-        self.channel.open_round(round_idx)
-        ctx = RoundContext(round_idx=round_idx)
-        for phase in self.PHASES:
-            getattr(self, f"phase_{phase}")(ctx)
-
-        record = self._make_record(ctx)
-        self.sampler.observe(record)
-        # Lazy populations absorb the participants' post-round state into
-        # packed arrays here; the materialized objects then evaporate.
-        self.population.checkin(ctx.participants)
-        return record
+        return self.mode.run_round(self, round_idx)
 
     def _make_record(self, ctx: RoundContext) -> RoundRecord:
         """Fold the round context and transport stats into a RoundRecord."""
@@ -388,6 +392,15 @@ class Server:
             down_latency.get(s.client_id, 0.0) + s.client_time_s + s.latency_s
             for s in ctx.delivered_submits
         ]
+        # Pure *simulated* link time (no wall-clock fit component): the
+        # deterministic per-round clock the async-vs-sync benchmarks use.
+        link_times_s = [
+            down_latency.get(s.client_id, 0.0) + s.latency_s
+            for s in ctx.delivered_submits
+        ]
+        link_time_max_s = (
+            (max(link_times_s) if link_times_s else 0.0) + ctx.retry_wait_s
+        )
         # Retry backoff is simulated time the whole round waited through;
         # zero whenever the retry knobs are off.
         duration_s = (
@@ -431,6 +444,7 @@ class Server:
                 "client_time_sum_s": sum(fit_times),
                 "aggregation_time_s": ctx.aggregation_time_s,
                 "transport_latency_max_s": stats.max_latency_s,
+                "link_time_max_s": link_time_max_s,
                 **cache_metrics,
                 **recovery_metrics,
                 **ctx.extra_metrics,

@@ -36,7 +36,10 @@ __all__ = [
 
 # Checkpoint payload schema version (see ``federation_state``); bumped on
 # any incompatible change so ``restore_federation`` can refuse clearly.
-CHECKPOINT_VERSION = 1
+# v2 added the server-mode state (the async event queue / buffer); v1
+# payloads predate server modes and still restore — into a fresh mode.
+CHECKPOINT_VERSION = 2
+_READABLE_CHECKPOINT_VERSIONS = (1, CHECKPOINT_VERSION)
 
 # Auxiliary-dataset size granted to defenses that assume public data
 # (Spectral). Kept small relative to the training set — the paper's
@@ -313,6 +316,11 @@ def federation_state(server: Server, history) -> dict:
         "setup_done": server._setup_done,
         "clients": client_states,
         "history": history,
+        # v2: evolving round-mode state. For the sync mode this is empty;
+        # for the async mode it carries the event heap, the arrival
+        # buffer, and the in-flight client set — work dispatched before
+        # the checkpoint that must land after the resume, bit-identically.
+        "mode": server.mode.state_dict(),
     }
 
 
@@ -332,10 +340,10 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
     """
     if state.get("format") != "repro-federation-checkpoint":
         raise ValueError("not a federation checkpoint payload")
-    if state.get("version") != CHECKPOINT_VERSION:
+    if state.get("version") not in _READABLE_CHECKPOINT_VERSIONS:
         raise ValueError(
             f"unsupported checkpoint version {state.get('version')!r}; "
-            f"this build reads version {CHECKPOINT_VERSION}"
+            f"this build reads versions {_READABLE_CHECKPOINT_VERSIONS}"
         )
     history = state["history"]
     last_round = history.rounds[-1].round_idx if history.rounds else 0
@@ -358,6 +366,11 @@ def restore_federation(state: dict, backend=None, sampler=None, channel=None):
     server.rng.bit_generator.state = state["server_rng"]
     server.context.rng.bit_generator.state = state["context_rng"]
     server._setup_done = state["setup_done"]
+    if "mode" in state:
+        # v1 payloads predate round modes: the freshly built mode (from
+        # the config, which also predates modes and is therefore sync)
+        # is already correct, so only v2 state is replayed.
+        server.mode.load_state_dict(state["mode"])
     for client_id, client_state in state["clients"].items():
         server.population.import_state(client_id, client_state)
     return server, history

@@ -26,6 +26,30 @@ from repro.experiments.storage import history_to_dict
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_histories.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
+# Async goldens: all 13 strategies at buffer_size=5 under a heterogeneous
+# LatencyChannel (base 0.05 s, lognormal spread 0.6), captured from the
+# first AsyncBufferedMode implementation. Arrival order — and therefore
+# every sampled/accepted id and staleness metric — must be a pure
+# function of the seed on every engine and backend.
+GOLDEN_ASYNC_PATH = (
+    pathlib.Path(__file__).parent / "data" / "golden_histories_async.json"
+)
+GOLDEN_ASYNC = json.loads(GOLDEN_ASYNC_PATH.read_text())
+
+GOLDEN_BY_MODE = {"sync": GOLDEN, "async": GOLDEN_ASYNC}
+
+
+def _cell_config(server_mode: str, seed: int, engine: str) -> FederationConfig:
+    if server_mode == "sync":
+        return FederationConfig.tiny(seed=seed, engine=engine)
+    # Three flushes: enough for arrivals dispatched in an earlier window
+    # to land stale (the captured histories pin staleness_max > 0).
+    return FederationConfig.tiny(
+        seed=seed, engine=engine, server_mode="async", buffer_size=5,
+        rounds=3, channel="latency", channel_latency_base_s=0.05,
+        channel_latency_spread=0.6,
+    )
+
 
 def _normalize(data: dict) -> dict:
     """Strip wall-clock fields and post-refactor-only keys from a history dict."""
@@ -59,3 +83,49 @@ def test_history_matches_pre_refactor_golden(cell, engine):
 def test_golden_file_covers_multiple_defense_families():
     strategies = {cell.rsplit("__", 2)[0] for cell in GOLDEN}
     assert {"fedavg", "fedguard", "krum", "geomed", "trimmed_mean"} <= strategies
+
+
+# One run asserts both modes: the sync cells prove the mode refactor left
+# barrier rounds byte-identical, the async cells pin FedBuff-style
+# aggregation to its captured arrival order, staleness metrics included.
+_MODE_CELLS = [
+    (mode, cell)
+    for mode, golden in sorted(GOLDEN_BY_MODE.items())
+    for cell in sorted(golden)
+]
+
+
+@pytest.mark.parametrize("server_mode,cell", _MODE_CELLS)
+def test_history_matches_golden_per_mode(server_mode, cell):
+    strategy, scenario, seed_tag = cell.rsplit("__", 2)
+    seed = int(seed_tag.removeprefix("seed"))
+    config = _cell_config(server_mode, seed, engine="loop")
+    history = run_cell(config, strategy, scenario)
+    golden = GOLDEN_BY_MODE[server_mode][cell]
+    assert _normalize(history_to_dict(history)) == _normalize(golden)
+
+
+@pytest.mark.parametrize("strategy", ["fedavg", "fedguard", "krum"])
+def test_async_golden_is_engine_independent(strategy):
+    # The batched engine receives groups of one client per async dispatch;
+    # its stacked pass must still land on the captured golden bytes.
+    cell = f"{strategy}__label_flipping_30__seed0"
+    config = _cell_config("async", seed=0, engine="batched")
+    history = run_cell(config, strategy, "label_flipping_30")
+    assert _normalize(history_to_dict(history)) == _normalize(GOLDEN_ASYNC[cell])
+
+
+def test_async_golden_covers_all_registered_strategies():
+    from repro.experiments import STRATEGY_FACTORIES
+
+    strategies = {cell.rsplit("__", 2)[0] for cell in GOLDEN_ASYNC}
+    assert strategies == set(STRATEGY_FACTORIES)
+
+
+def test_async_golden_exercises_staleness():
+    stale_max = max(
+        r["metrics"]["staleness_max"]
+        for history in GOLDEN_ASYNC.values()
+        for r in history["rounds"]
+    )
+    assert stale_max > 0, "async goldens never queued a stale arrival"

@@ -185,3 +185,53 @@ class TestDeliverySummary:
     def test_empty_history_raises(self):
         with pytest.raises(ValueError):
             History("s", "sc").delivery_summary()
+
+    def test_sync_history_reports_no_flushes(self):
+        summary = history_with([0.5, 0.6]).delivery_summary()
+        assert summary["buffer_flushes"] == 0
+        assert summary["stale_dropped"] == 0
+
+
+def flush_record(i, *, sampled, stale_dropped=0):
+    """An async flush: aggregates arrivals dispatched in earlier windows."""
+    sampled_ids = list(range(sampled))
+    return RoundRecord(
+        round_idx=i, accuracy=0.5, sampled_ids=sampled_ids,
+        accepted_ids=sampled_ids, rejected_ids=[],
+        malicious_sampled=0, malicious_accepted=0,
+        upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        metrics={"buffer_flush": 1, "stale_dropped": stale_dropped},
+        selected_ids=[],
+    )
+
+
+class TestDeliverySummaryAsync:
+    def test_flush_without_dispatches_is_not_idle(self):
+        """A flush fed entirely by earlier windows' arrivals selects nobody
+        itself — that is pipelining, not an idle round."""
+        h = History("s", "sc")
+        h.append(flush_record(1, sampled=3))
+        summary = h.delivery_summary()
+        assert summary["buffer_flushes"] == 1
+        assert summary["idle_rounds"] == 0
+
+    def test_stale_dropped_sums_across_flushes(self):
+        h = History("s", "sc")
+        h.append(flush_record(1, sampled=3, stale_dropped=1))
+        h.append(flush_record(2, sampled=2, stale_dropped=2))
+        summary = h.delivery_summary()
+        assert summary["buffer_flushes"] == 2
+        assert summary["stale_dropped"] == 3
+
+    def test_sync_idle_round_still_counts(self):
+        """The flush exclusion must not swallow genuine sync idle rounds."""
+        idle = RoundRecord(
+            round_idx=1, accuracy=0.5, sampled_ids=[],
+            accepted_ids=[], rejected_ids=[],
+            malicious_sampled=0, malicious_accepted=0,
+            upload_nbytes=0, download_nbytes=0, duration_s=0.1,
+        )
+        h = History("s", "sc")
+        h.append(idle)
+        h.append(flush_record(2, sampled=3))
+        assert h.delivery_summary()["idle_rounds"] == 1

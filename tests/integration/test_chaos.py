@@ -20,7 +20,7 @@ from repro.config import FederationConfig
 from repro.experiments import STRATEGY_FACTORIES
 from repro.experiments.scenarios import make_strategy
 from repro.fl import FaultPlan, FaultyChannel, ProcessPoolBackend, build_federation
-from repro.fl.transport import InMemoryChannel
+from repro.fl.transport import InMemoryChannel, LatencyChannel
 
 pytestmark = pytest.mark.chaos
 
@@ -121,3 +121,107 @@ def test_fedguard_filters_on_shrunken_pools():
         assert len(record.accepted_ids) >= 1
         # Weights stay finite through partial aggregation.
         assert np.isfinite(record.accuracy)
+
+
+# -- the async tier ---------------------------------------------------------
+# The same canonical failure stack, but over FedBuff-style buffered
+# aggregation: drops re-arm dispatch slots instead of thinning a barrier
+# cohort, the worker crash fires at a flush-window boundary, and the
+# scripted 10 s submit delay turns client 2 into a straggler the deadline
+# rejects. A second, *sub-deadline* delay on client 3 plus a buffer
+# smaller than the viable population (3 of 5 — with 5 the flush would
+# need every viable client, so nothing could ever stay in flight) makes
+# its uploads land several model versions late: stragglers past
+# ``max_staleness=1`` rather than past the deadline, so the stale-drop
+# path runs for real, and everything must still replay bit-identically.
+MAX_STALENESS = 1
+BUFFER_SIZE = 3
+SLOW_ID = 3  # scripted 4 s submit delay: under the deadline, past the bound
+
+
+def async_plan() -> FaultPlan:
+    return canonical_plan().delay_submit(4.0, client_id=SLOW_ID)
+
+
+def run_under_async_chaos(strategy_name: str):
+    config = FederationConfig.tiny(
+        rounds=ROUNDS,
+        retries=1,
+        retry_backoff_s=0.1,
+        deadline_s=5.0,
+        min_quorum=MIN_QUORUM,
+        server_mode="async",
+        buffer_size=BUFFER_SIZE,
+        max_staleness=MAX_STALENESS,
+        channel="latency",  # config-level default; the explicit channel below wins
+    )
+    scenario = AttackScenario.sign_flipping(0.5)
+    channel = FaultyChannel(
+        LatencyChannel(base_s=0.05, spread=1.0, seed=23), async_plan()
+    )
+    with ProcessPoolBackend(max_workers=2) as backend:
+        server = build_federation(
+            config, make_strategy(strategy_name), scenario,
+            backend=backend, channel=channel,
+        )
+        history = server.run()
+        respawns = backend.respawns
+    return history, respawns
+
+
+def _comparable_async(history):
+    return [
+        (*row, r.metrics["staleness_max"], r.metrics["stale_dropped"],
+         r.metrics["model_version"])
+        for row, r in zip(_comparable(history), history.rounds)
+    ]
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGY_FACTORIES))
+def test_strategy_survives_async_chaos_and_replays(strategy_name):
+    first, respawns_a = run_under_async_chaos(strategy_name)
+    second, respawns_b = run_under_async_chaos(strategy_name)
+
+    # Completion: every flush window produced a record despite drops,
+    # the crash, stragglers, and the staleness bound.
+    assert len(first.rounds) == ROUNDS
+    assert respawns_a == 1
+
+    for record in first.rounds:
+        assert 0.0 <= record.accuracy <= 1.0
+        assert record.metrics["buffer_flush"] == 1
+        # The scripted straggler's 10 s link time always exceeds the
+        # deadline: it is dropped at dispatch, never buffered.
+        assert STRAGGLER_ID not in record.sampled_ids
+        # Whatever survived the staleness bound is what the strategy saw.
+        if record.metrics.get("quorum_failed"):
+            assert record.accepted_ids == []
+            assert record.metrics["quorum_delivered"] < MIN_QUORUM
+        decided = set(record.accepted_ids) | set(record.rejected_ids)
+        assert decided <= set(record.sampled_ids)
+        # Anything aggregated respected the staleness bound.
+        assert record.metrics["staleness_max"] <= MAX_STALENESS
+
+    # Deterministic replay: same plan + same seed => identical flushes,
+    # staleness metrics included.
+    assert _comparable_async(first) == _comparable_async(second)
+    assert respawns_a == respawns_b
+
+
+def test_async_chaos_exercises_staleness_and_drops():
+    """The async plan must bite: drops, stragglers, and stale rejections."""
+    history, _ = run_under_async_chaos("fedavg")
+    assert sum(r.submits_dropped for r in history.rounds) > 0
+    assert sum(
+        r.metrics.get("stragglers_dropped", 0) for r in history.rounds
+    ) > 0
+    assert sum(r.metrics["stale_dropped"] for r in history.rounds) > 0
+
+    # The delivery summary accounts flushes as flushes — not idle rounds.
+    summary = history.delivery_summary()
+    assert summary["buffer_flushes"] == ROUNDS
+    assert summary["idle_rounds"] == 0
+    assert summary["stale_dropped"] > 0
+
+    # Weights stay finite through partial, staleness-thinned aggregation.
+    assert all(np.isfinite(r.accuracy) for r in history.rounds)
