@@ -1,6 +1,6 @@
 """``python -m repro.analysis`` — run the correctness-tooling passes.
 
-Five passes, all enabled by default:
+Six passes, all enabled by default:
 
 * **lint** — the RG001–RG007 AST rules over the analyzed paths;
 * **flow** — the whole-program dataflow analyzer (RG101–RG105: RNG
@@ -9,13 +9,19 @@ Five passes, all enabled by default:
 * **shapes** — the array shape/dtype/client-axis abstract interpreter
   (RG201–RG205: broadcast compatibility, silent dtype widening, hidden
   copies in hot paths, per-client Python loops, batch-axis discipline);
+* **concurrency** — the RG301–RG305 concurrency/determinism verifier
+  (checkpoint coverage of mode/backend state, unordered iteration into
+  order-sensitive sinks, schedule-tainted RNG draws, shared-memory
+  lifecycles, heap tie-break keys);
 * **gradcheck** — finite-difference verification of every public
   layer/activation/loss backward pass;
 * **contracts** — dynamic audit of every registered defense aggregator
   under the no-mutation/shape/dtype contract.
 
 Select passes positively with ``--passes lint,shapes`` (an unknown pass
-name is a usage error, exit 2) or subtractively with ``--skip``.
+name is a usage error, exit 2), subtractively with ``--skip``, or by
+naming passes positionally (``python -m repro.analysis concurrency``) —
+a positional that names a pass and no existing file selects that pass.
 
 The three static passes share one reporting pipeline
 (:mod:`repro.analysis.reporting`): findings are deduplicated, filtered
@@ -48,8 +54,8 @@ from . import reporting
 
 __all__ = ["main", "run", "build_parser"]
 
-_PASSES = ("lint", "flow", "shapes", "gradcheck", "contracts")
-_STATIC_PASSES = frozenset({"lint", "flow", "shapes"})
+_PASSES = ("lint", "flow", "shapes", "concurrency", "gradcheck", "contracts")
+_STATIC_PASSES = frozenset({"lint", "flow", "shapes", "concurrency"})
 _FORMATS = ("text", "json", "sarif")
 
 # Rules scoped to the package source tree. Everything else (benchmarks,
@@ -92,7 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths", nargs="*", type=pathlib.Path,
         help="files/directories to analyze (default: the repro package "
-             "plus benchmarks/, examples/ and tests/ at the repo root)",
+             "plus benchmarks/, examples/ and tests/ at the repo root); "
+             "a positional that names a pass and no existing file selects "
+             "that pass instead",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -110,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules", default=None,
         help="comma-separated static rules to run (default: all of "
-             "RG001-RG007, RG101-RG105 and RG201-RG205)",
+             "RG001-RG007, RG101-RG105, RG201-RG206 and RG301-RG305)",
     )
     parser.add_argument(
         "--format", dest="fmt", choices=_FORMATS, default="text",
@@ -148,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="gradcheck absolute tolerance")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the static rules and exit")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-pass finding counts and engine-cache hit/miss "
+             "after the static passes",
+    )
     return parser
 
 
@@ -156,22 +169,23 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _split_rules(raw: str | None):
-    """--rules value -> (lint, flow, shape) rule sets, or raise ValueError."""
-    from .flow import FLOW_RULES, SHAPE_RULES
+    """--rules value -> per-pass rule sets, or raise ValueError."""
+    from .flow import CONCURRENCY_RULES, FLOW_RULES, SHAPE_RULES
 
     if raw is None:
-        return None, None, None
+        return None, None, None, None
     requested = {r.strip().upper() for r in raw.split(",") if r.strip()}
-    unknown = requested - ALL_RULES - FLOW_RULES - SHAPE_RULES - {"RG100"}
+    known = ALL_RULES | FLOW_RULES | SHAPE_RULES | CONCURRENCY_RULES
+    unknown = requested - known - {"RG100"}
     if unknown:
         raise ValueError(
-            f"unknown rules: {sorted(unknown)}; "
-            f"known: {sorted(ALL_RULES | FLOW_RULES | SHAPE_RULES)}"
+            f"unknown rules: {sorted(unknown)}; known: {sorted(known)}"
         )
     return (
         requested & ALL_RULES,
         requested & FLOW_RULES,
         requested & SHAPE_RULES,
+        requested & CONCURRENCY_RULES,
     )
 
 
@@ -202,24 +216,50 @@ def _rule_pass(rule: str) -> str:
         return "lint"
     if rule.startswith("RG2"):
         return "shapes"
+    if rule.startswith("RG3"):
+        return "concurrency"
     return "flow"
 
 
+def _extract_pass_positionals(args) -> None:
+    """Fold positional pass names (``… concurrency``) into ``--passes``.
+
+    A positional argument that names a pass *and* does not exist on disk
+    is a pass selector, not a path — so ``python -m repro.analysis
+    concurrency --strict`` runs just that pass instead of exiting 2 on a
+    missing file. A real file/directory named like a pass still wins.
+    """
+    selectors = [
+        str(p) for p in args.paths if str(p) in _PASSES and not p.exists()
+    ]
+    if not selectors:
+        return
+    args.paths = [p for p in args.paths if str(p) not in selectors]
+    existing = (
+        [p.strip() for p in args.passes.split(",") if p.strip()]
+        if args.passes else []
+    )
+    args.passes = ",".join(existing + selectors)
+
+
 def _static_findings(
-    args, paths: list[pathlib.Path], selected: set[str]
+    args, paths: list[pathlib.Path], selected: set[str],
+    stats: dict | None = None,
 ) -> tuple[list[Finding], dict[str, str]]:
-    """Run lint + flow + shapes and push everything through the reporting
-    pipeline.
+    """Run lint + flow + shapes + concurrency and push everything through
+    the reporting pipeline.
 
     Returns the surviving findings and the analyzed-source map (used for
-    baseline fingerprints when writing a new baseline). The flow and shape
-    domains share one engine invocation (and one result-cache entry): the
-    engine is called once with the union of their active rules.
+    baseline fingerprints when writing a new baseline). The flow, shape
+    and concurrency domains share one engine invocation (and one
+    result-cache entry): the engine is called once with the union of
+    their active rules. When a ``stats`` dict is passed, it receives the
+    engine-cache outcome and per-pass finding counts.
     """
-    from .flow import FLOW_RULES, SHAPE_RULES, analyze_paths
+    from .flow import CONCURRENCY_RULES, FLOW_RULES, SHAPE_RULES, analyze_paths
     from .flow.project import collect_files
 
-    lint_rules, flow_rules, shape_rules = _split_rules(args.rules)
+    lint_rules, flow_rules, shape_rules, conc_rules = _split_rules(args.rules)
 
     findings: list[Finding] = []
     active_rules: set[str] = set()
@@ -242,13 +282,19 @@ def _static_findings(
         engine_rules |= flow_rules if flow_rules is not None else FLOW_RULES
     if "shapes" in selected:
         engine_rules |= shape_rules if shape_rules is not None else SHAPE_RULES
+    if "concurrency" in selected:
+        engine_rules |= (
+            conc_rules if conc_rules is not None else CONCURRENCY_RULES
+        )
     if engine_rules:
         active_rules |= engine_rules
         cache_dir = None
         if not args.no_cache:
             cache_dir = args.cache_dir or pathlib.Path(DEFAULT_CACHE_DIR)
         findings.extend(
-            analyze_paths(paths, rules=engine_rules, cache_dir=cache_dir)
+            analyze_paths(
+                paths, rules=engine_rules, cache_dir=cache_dir, stats=stats
+            )
         )
 
     sources: dict[str, str] = {}
@@ -262,7 +308,26 @@ def _static_findings(
     findings = reporting.apply_suppressions(
         findings, sources, active_rules=active_rules
     )
+    if stats is not None:
+        counts = {p: 0 for p in sorted(selected & _STATIC_PASSES)}
+        for f in findings:
+            owner = _rule_pass(f.rule)
+            counts[owner] = counts.get(owner, 0) + 1
+        stats["per_pass"] = counts
     return findings, sources
+
+
+def _stats_line(stats: dict) -> str:
+    """One human-readable summary of what the static gate checked."""
+    counts = " ".join(
+        f"{name}={n}" for name, n in stats.get("per_pass", {}).items()
+    )
+    cache = stats.get("engine_cache", "off")
+    files = stats.get("files")
+    tail = f"engine cache: {cache}"
+    if files is not None:
+        tail += f", {files} file(s)"
+    return f"stats: {counts or 'no static passes'} ({tail})"
 
 
 def run(args: argparse.Namespace) -> int:
@@ -271,7 +336,11 @@ def run(args: argparse.Namespace) -> int:
     Split from :func:`main` so ``repro analyze`` can mount
     :func:`build_parser` as a parent parser and delegate here.
     """
-    from .flow import FLOW_RULE_DESCRIPTIONS, SHAPE_RULE_DESCRIPTIONS
+    from .flow import (
+        CONCURRENCY_RULE_DESCRIPTIONS,
+        FLOW_RULE_DESCRIPTIONS,
+        SHAPE_RULE_DESCRIPTIONS,
+    )
 
     if args.list_rules:
         for rule in sorted(ALL_RULES):
@@ -280,9 +349,12 @@ def run(args: argparse.Namespace) -> int:
             print(f"{rule}: {FLOW_RULE_DESCRIPTIONS[rule]}")
         for rule in sorted(SHAPE_RULE_DESCRIPTIONS):
             print(f"{rule}: {SHAPE_RULE_DESCRIPTIONS[rule]}")
+        for rule in sorted(CONCURRENCY_RULE_DESCRIPTIONS):
+            print(f"{rule}: {CONCURRENCY_RULE_DESCRIPTIONS[rule]}")
         return 0
 
     try:
+        _extract_pass_positionals(args)
         selected = _selected_passes(args)
     except ValueError as exc:  # unknown pass name in --passes
         print(f"error: {exc}", file=sys.stderr)
@@ -302,8 +374,11 @@ def run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        stats: dict = {}
         try:
-            findings, sources = _static_findings(args, paths, static_selected)
+            findings, sources = _static_findings(
+                args, paths, static_selected, stats=stats
+            )
         except ValueError as exc:  # e.g. a typo'd --rules value
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -326,6 +401,7 @@ def run(args: argparse.Namespace) -> int:
                 f"baseline: accepted {len(findings)} finding(s) "
                 f"({len(preserved)} preserved) into {baseline_path}"
             )
+            print(_stats_line(stats))
             return 0
         if not args.no_baseline and baseline_path.is_file():
             baseline = reporting.load_baseline(baseline_path)
@@ -335,6 +411,7 @@ def run(args: argparse.Namespace) -> int:
             **RULE_DESCRIPTIONS,
             **FLOW_RULE_DESCRIPTIONS,
             **SHAPE_RULE_DESCRIPTIONS,
+            **CONCURRENCY_RULE_DESCRIPTIONS,
         }
         rendered = reporting.format_findings(
             findings, fmt=args.fmt, descriptions=descriptions
@@ -346,6 +423,8 @@ def run(args: argparse.Namespace) -> int:
             print(rendered)
         if not machine_readable:
             print(f"static: {len(findings)} finding(s) in {len(paths)} path(s)")
+            if args.stats:
+                print(_stats_line(stats))
         failures += len(findings)
 
     if machine_readable:

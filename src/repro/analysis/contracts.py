@@ -60,6 +60,12 @@ __all__ = [
     "shape_observations",
     "clear_shape_observations",
     "shape_oracle_report",
+    "ScheduleAdversary",
+    "schedule_checks_enabled",
+    "schedule_adversary",
+    "enable_schedule_adversary",
+    "disable_schedule_adversary",
+    "schedule_sanitizer_report",
 ]
 
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -73,6 +79,11 @@ def contracts_enabled() -> bool:
 def shape_recording_enabled() -> bool:
     """Whether ``REPRO_RECORD_SHAPES`` requests the runtime shape oracle."""
     return os.environ.get("REPRO_RECORD_SHAPES", "").strip().lower() in _TRUTHY
+
+
+def schedule_checks_enabled() -> bool:
+    """Whether ``REPRO_CHECK_SCHEDULES`` requests the schedule sanitizer."""
+    return os.environ.get("REPRO_CHECK_SCHEDULES", "").strip().lower() in _TRUTHY
 
 
 class ContractViolation(TypeError):
@@ -413,3 +424,179 @@ def shape_oracle_report() -> dict:
         "call_sites": sorted(call_sites),
         "disagreements": disagreements,
     }
+
+
+# ---------------------------------------------------------------------------
+# schedule sanitizer: the dynamic oracle behind the RG300 static rules
+# ---------------------------------------------------------------------------
+
+
+class ScheduleAdversary:
+    """Seeded, semantics-preserving schedule perturber.
+
+    Every perturbation it offers is a no-op *if and only if* the code
+    under test keeps its determinism contracts:
+
+    * :meth:`shuffle_heap` randomizes a heap's internal array layout and
+      re-heapifies. With total-order entry keys (the RG305 contract —
+      unique ``seq`` at index 1) the pop sequence is invariant; an entry
+      relying on insertion order or payload identity diverges.
+    * :meth:`permutation` reorders worker result collection / submission
+      interleavings. Because both process backends reassemble results in
+      canonical client order (``packed_by_id`` / un-permuted write-back),
+      history bytes must not move; a backend that leaked arrival order
+      into aggregation would.
+
+    Draws come from a dedicated :class:`random.Random` so the adversary
+    never touches any federation RNG stream.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        import random
+
+        self.seed = seed
+        self._rand = random.Random(seed)
+
+    def shuffle_heap(self, heap: list) -> None:
+        """Adversarially rearrange a live heap without changing its keys."""
+        import heapq
+
+        self._rand.shuffle(heap)
+        heapq.heapify(heap)
+
+    def permutation(self, n: int) -> list[int]:
+        """A random permutation of ``range(n)`` (collect/submit order)."""
+        order = list(range(n))
+        self._rand.shuffle(order)
+        return order
+
+
+# Resolved once at import: unset env means the hooks in fl/modes.py and
+# fl/parallel.py see None and cost one attribute check — nothing else —
+# on the hot path (the same zero-overhead discipline as the other gates).
+_SCHEDULE_ADVERSARY: ScheduleAdversary | None = (
+    ScheduleAdversary(int(os.environ.get("REPRO_SCHEDULE_SEED", "0") or 0))
+    if schedule_checks_enabled()
+    else None
+)
+
+
+def schedule_adversary() -> ScheduleAdversary | None:
+    """The active adversary, or None when schedule checks are off."""
+    return _SCHEDULE_ADVERSARY
+
+
+def enable_schedule_adversary(seed: int = 0) -> ScheduleAdversary:
+    """Activate an adversary regardless of the environment (tests/harness)."""
+    global _SCHEDULE_ADVERSARY
+    _SCHEDULE_ADVERSARY = ScheduleAdversary(seed)
+    return _SCHEDULE_ADVERSARY
+
+
+def disable_schedule_adversary() -> None:
+    global _SCHEDULE_ADVERSARY
+    _SCHEDULE_ADVERSARY = None
+
+
+def _normalized_history_bytes(history) -> bytes:
+    """History serialized with every wall-clock field stripped.
+
+    Mirrors the property-suite normalization: simulated ``duration_s``
+    stays comparable, but host-measured ``*_s`` metrics are noise.
+    """
+    import json
+
+    from repro.experiments.storage import history_to_dict
+
+    data = history_to_dict(history)
+    for record in data["rounds"]:
+        record.pop("duration_s", None)
+        record["metrics"] = {
+            k: v for k, v in record["metrics"].items() if not k.endswith("_s")
+        }
+    return json.dumps(data, sort_keys=True, default=float).encode()
+
+
+def _sanitizer_config(mode: str, seed: int):
+    from repro.config import FederationConfig
+
+    if mode == "async":
+        # Latency channel so arrivals genuinely interleave; small buffer
+        # so multiple flush windows exercise the in-flight machinery.
+        return FederationConfig.tiny(
+            seed=seed, server_mode="async", buffer_size=4, rounds=2,
+            channel="latency", channel_latency_base_s=0.05,
+            channel_latency_spread=0.6,
+        )
+    return FederationConfig.tiny(seed=seed, rounds=2)
+
+
+def _run_schedule_cell(config, backend_kind: str | None, workers: int,
+                       adversary_seed: int | None) -> bytes:
+    """One federation under one (backend, adversary) schedule; returns
+    normalized history bytes. The previous adversary is always restored."""
+    from repro.experiments.scenarios import make_scenario, make_strategy
+    from repro.fl import build_federation
+    from repro.fl.parallel import LegacyProcessPoolBackend, ProcessPoolBackend
+
+    global _SCHEDULE_ADVERSARY
+    previous = _SCHEDULE_ADVERSARY
+    if adversary_seed is None:
+        _SCHEDULE_ADVERSARY = None
+    else:
+        _SCHEDULE_ADVERSARY = ScheduleAdversary(adversary_seed)
+    try:
+        strategy = make_strategy("fedavg")
+        scenario = make_scenario("label_flipping_30")
+        if backend_kind is None:
+            history = build_federation(config, strategy, scenario).run()
+        else:
+            factory = {
+                "process": ProcessPoolBackend,
+                "process_legacy": LegacyProcessPoolBackend,
+            }[backend_kind]
+            with factory(max_workers=workers) as backend:
+                server = build_federation(
+                    config, strategy, scenario, backend=backend
+                )
+                history = server.run()
+    finally:
+        _SCHEDULE_ADVERSARY = previous
+    return _normalized_history_bytes(history)
+
+
+def schedule_sanitizer_report(
+    modes: tuple = ("sync", "async"),
+    backends: tuple = ("process", "process_legacy"),
+    schedules: int = 3,
+    seed: int = 7,
+) -> dict:
+    """Re-run a smoke federation under adversarial schedules; compare bytes.
+
+    For each server mode, an unperturbed sequential run fixes the
+    reference history. Every (backend × schedule) cell then re-runs the
+    same federation under a distinct adversary seed — shuffled heap
+    layouts, permuted worker-result collection, permuted submission
+    interleavings — and a varied worker count (1..3, permuting sticky
+    client placement). Any cell whose normalized history bytes differ
+    from the reference lands in ``divergences``; CI fails on a non-empty
+    list. Like :func:`verify_aggregate`, this harness always checks,
+    independent of ``REPRO_CHECK_SCHEDULES`` (the env var arms the hooks
+    for *ordinary* runs; the harness arms them itself per cell).
+    """
+    report: dict = {"runs": 0, "cells": [], "divergences": []}
+    for mode in modes:
+        config = _sanitizer_config(mode, seed)
+        reference = _run_schedule_cell(config, None, 0, None)
+        for backend_kind in backends:
+            for schedule in range(schedules):
+                workers = (schedule % 3) + 1
+                cell = f"{mode}/{backend_kind}/w{workers}/schedule{schedule}"
+                got = _run_schedule_cell(
+                    config, backend_kind, workers, adversary_seed=schedule
+                )
+                report["runs"] += 1
+                report["cells"].append(cell)
+                if got != reference:
+                    report["divergences"].append(cell)
+    return report

@@ -16,6 +16,10 @@ this package sees the *whole* ``src/repro`` tree at once:
 * :mod:`.shapes` — a second abstract domain over the same project/CFG
   infrastructure: array shape, dtype, and leading-client-axis tracking
   (the RG200-series rules paving the batched multi-client engine);
+* :mod:`.concurrency` — a third domain over the same project model:
+  event-heap tie-break keys, checkpoint coverage of mutable mode/backend
+  state, schedule-tainted RNG draws, and shared-memory lifecycles (the
+  RG300-series rules guarding the async/parallel determinism seams);
 * :mod:`.engine` — the driver: build the project, run the rules, cache
   results keyed on source content hashes.
 
@@ -25,6 +29,7 @@ so both route through the same reporting pipeline
 (:mod:`repro.analysis.reporting`).
 """
 
+from .concurrency import CONCURRENCY_RULES, CONCURRENCY_RULE_DESCRIPTIONS
 from .engine import (
     ENGINE_RULES,
     FLOW_RULES,
@@ -35,6 +40,8 @@ from .engine import (
 from .shapes import SHAPE_RULES, SHAPE_RULE_DESCRIPTIONS
 
 __all__ = [
+    "CONCURRENCY_RULES",
+    "CONCURRENCY_RULE_DESCRIPTIONS",
     "ENGINE_RULES",
     "FLOW_RULES",
     "FLOW_RULE_DESCRIPTIONS",

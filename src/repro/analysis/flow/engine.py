@@ -51,6 +51,7 @@ from .dataflow import (
     Value,
     module_env,
 )
+from .concurrency import CONCURRENCY_RULES, analyze_concurrency_project
 from .project import ModuleInfo, Project, collect_files, load_project, load_source
 from .protocol import check_rg103, check_rg104
 from .rules import check_rg101, check_rg102, check_rg105
@@ -59,15 +60,17 @@ from .shapes import SHAPE_RULES, analyze_shapes_project
 __all__ = [
     "FLOW_RULES",
     "FLOW_RULE_DESCRIPTIONS",
+    "CONCURRENCY_RULES",
     "ENGINE_RULES",
     "analyze_project",
     "analyze_paths",
     "analyze_source",
 ]
 
-# v2: the RG200 shape/dtype/client-axis domain joined the engine; bumping
-# the version invalidates result-cache entries written by v1.
-ENGINE_VERSION = 2
+# v3: the RG300 concurrency/determinism domain joined the engine (v2
+# added the RG200 shape domain); bumping the version invalidates result-
+# cache entries written by earlier engines.
+ENGINE_VERSION = 3
 MAX_ROUNDS = 8
 
 FLOW_RULE_DESCRIPTIONS = {
@@ -82,9 +85,10 @@ FLOW_RULE_DESCRIPTIONS = {
 # table, not dataflow facts), so it is not a runnable engine rule.
 FLOW_RULES = frozenset(FLOW_RULE_DESCRIPTIONS) - {"RG100"}
 
-# Everything the engine can run: the RNG/order/protocol family plus the
-# RG200 shape/dtype/client-axis family from :mod:`.shapes`.
-ENGINE_RULES = FLOW_RULES | SHAPE_RULES
+# Everything the engine can run: the RNG/order/protocol family, the
+# RG200 shape/dtype/client-axis family from :mod:`.shapes`, and the
+# RG300 concurrency/determinism family from :mod:`.concurrency`.
+ENGINE_RULES = FLOW_RULES | SHAPE_RULES | CONCURRENCY_RULES
 
 
 @dataclass
@@ -211,7 +215,7 @@ def _global_envs(project: Project) -> dict[str, Env]:
 def analyze_project(
     project: Project, rules: Iterable[str] | None = None
 ) -> list[Finding]:
-    """Run the full engine (flow + shape domains) over a loaded project."""
+    """Run the full engine (flow + shape + concurrency domains)."""
     active = (
         ENGINE_RULES if rules is None
         else {r.upper() for r in rules} & ENGINE_RULES
@@ -221,6 +225,10 @@ def analyze_project(
         findings.extend(_analyze_flow_domain(project, active & FLOW_RULES))
     if active & SHAPE_RULES:
         findings.extend(analyze_shapes_project(project, active & SHAPE_RULES))
+    if active & CONCURRENCY_RULES:
+        findings.extend(
+            analyze_concurrency_project(project, active & CONCURRENCY_RULES)
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -323,12 +331,21 @@ def analyze_paths(
     paths: Sequence[pathlib.Path | str],
     rules: Iterable[str] | None = None,
     cache_dir: pathlib.Path | str | None = None,
+    stats: dict | None = None,
 ) -> list[Finding]:
-    """Analyze every ``.py`` file under ``paths`` as one program."""
+    """Analyze every ``.py`` file under ``paths`` as one program.
+
+    When a ``stats`` dict is passed, ``stats["engine_cache"]`` is set to
+    ``"hit"``, ``"miss"`` or ``"off"`` and ``stats["files"]`` to the
+    analyzed file count — the CLI's ``--stats`` / baseline summary.
+    """
     active = ENGINE_RULES if rules is None else frozenset(
         {r.upper() for r in rules}
     ) & ENGINE_RULES
     files = collect_files(paths)
+    if stats is not None:
+        stats["engine_cache"] = "off" if cache_dir is None else "miss"
+        stats["files"] = len(files)
 
     cache_file = None
     if cache_dir is not None:
@@ -336,9 +353,13 @@ def analyze_paths(
         if cache_file.is_file():
             try:
                 raw = json.loads(cache_file.read_text())
-                return [Finding(**entry) for entry in raw["findings"]]
+                findings = [Finding(**entry) for entry in raw["findings"]]
             except (ValueError, KeyError, TypeError):
                 pass  # corrupt cache entry: fall through and recompute
+            else:
+                if stats is not None:
+                    stats["engine_cache"] = "hit"
+                return findings
 
     findings = analyze_project(load_project(paths), rules=active)
 

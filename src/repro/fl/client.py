@@ -318,7 +318,11 @@ class FLClient:
             poison = getattr(self.attack, "poison_cvae_data", None)
             if poison is not None:
                 cvae_data = poison(self.dataset, self.rng)
-            self._cvae = build_cvae(cfg.model, self.rng)
+            # The CVAE object itself is transient: everything a resumed
+            # federation needs from it (_decoder_vector, cvae_loss,
+            # _decoder_version) IS checkpointed, and this branch never
+            # re-runs once _decoder_vector is restored (train-once).
+            self._cvae = build_cvae(cfg.model, self.rng)  # repro: noqa[RG301]
             self.cvae_loss = train_cvae(
                 self._cvae, cvae_data,
                 epochs=cfg.cvae_epochs, lr=cfg.cvae_lr,

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..analysis.contracts import schedule_adversary
 from .history import RoundRecord
 from .server import RoundContext
 from .transport import BroadcastMessage, SubmitMessage
@@ -218,11 +219,27 @@ class AsyncBufferedMode(ServerMode):
         self._events: list[tuple] = []   # heap of (time, seq, kind, payload)
         self._buffer: list[_Arrival] = []
         self._in_flight: set[int] = set()
+        # Resolved once: None unless REPRO_CHECK_SCHEDULES=1 (or a test
+        # armed it), so the hot path pays a single attribute check.
+        self._schedule_adversary = schedule_adversary()
 
     # -- event queue --------------------------------------------------------
     def _push(self, at_time: float, kind: int, payload) -> None:
+        """Schedule one event under the total-order tie-break contract.
+
+        Every entry is ``(time, seq, kind, payload)`` — RG305's audited
+        key layout. ``seq`` is unique per push, so no two entries ever
+        compare equal and comparison never falls through to ``kind`` or
+        the (unorderable) payload: pop order is a pure function of the
+        keys, independent of heap internals, insertion order, or object
+        identity. The schedule adversary exploits exactly that — it may
+        scramble the heap's array layout at will and the pop sequence
+        (hence history bytes) must not move.
+        """
         heapq.heappush(self._events, (at_time, self._seq, kind, payload))
         self._seq += 1
+        if self._schedule_adversary is not None:
+            self._schedule_adversary.shuffle_heap(self._events)
 
     def _effective(self, server) -> tuple[int, int]:
         """(buffer_size, concurrency) with 0-defaults and population caps."""
@@ -245,8 +262,12 @@ class AsyncBufferedMode(ServerMode):
         if len(busy) >= server.population.size:
             return None
         for _ in range(_PICK_ATTEMPTS):
+            # Rejection sampling against the busy set IS schedule-shaped,
+            # by design — but it consumes the mode's *dedicated* stream
+            # (never the server's), and the busy set is itself a pure
+            # function of the seed, so replays stay bit-identical.
             cid = int(
-                server.sampler.sample(server.population.size, 1, self._rng)[0]
+                server.sampler.sample(server.population.size, 1, self._rng)[0]  # repro: noqa[RG303]
             )
             if cid not in busy:
                 return cid

@@ -65,7 +65,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..analysis.contracts import loop_fallback
+from ..analysis.contracts import loop_fallback, schedule_adversary
 from .batched import TrainingEngine, make_engine
 from .client import FLClient
 from .transport import BroadcastMessage, SubmitMessage
@@ -647,12 +647,23 @@ class ProcessPoolBackend(ExecutionBackend):
         weights = np.ascontiguousarray(global_weights, dtype=np.float64)
         ref, segment = self._publish_weights(weights)
         packed_by_id: dict[int, dict] = {}
+        # Collection order across workers is free: results are keyed by
+        # client id and reassembled in round order below, so the schedule
+        # sanitizer may permute which worker is drained first and the
+        # histories must not move.
+        collect_items = list(by_worker.items())
+        adversary = schedule_adversary()
+        if adversary is not None:
+            collect_items = [
+                collect_items[i]
+                for i in adversary.permutation(len(collect_items))
+            ]
         try:
             for worker_idx, group in by_worker.items():
                 self._dispatch_round(
                     worker_idx, group, round_idx, include_decoder, ref
                 )
-            for worker_idx, group in by_worker.items():
+            for worker_idx, group in collect_items:
                 payload = self._collect_round(
                     worker_idx, group, round_idx, include_decoder, ref
                 )
@@ -834,16 +845,33 @@ class LegacyProcessPoolBackend(ExecutionBackend):
                 self.ipc_stats.bytes_sent += len(
                     pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
                 )
+        # Submission interleaving is free: each payload ships a complete,
+        # independent client, and the results are un-permuted into client
+        # order below — so the schedule sanitizer may scramble which
+        # worker trains which client, in what order, without moving a bit.
+        adversary = schedule_adversary()
+        order = (
+            adversary.permutation(len(payloads))
+            if adversary is not None else None
+        )
+        submitted = (
+            [payloads[i] for i in order] if order is not None else payloads
+        )
         # Materialize every result before any write-back: if the pool died
         # mid-batch, the whole round is replayed on a fresh pool from the
         # clients' untouched pre-round state — no double RNG advancement.
         try:
-            results = list(pool.map(_fit_worker, payloads))
+            results = list(pool.map(_fit_worker, submitted))
         except BrokenProcessPool:
             self.close()
             self.respawns += 1
             pool = self._ensure_pool()
-            results = list(pool.map(_fit_worker, payloads))
+            results = list(pool.map(_fit_worker, submitted))
+        if order is not None:
+            restored: list = [None] * len(results)
+            for slot, i in enumerate(order):
+                restored[i] = results[slot]
+            results = restored
         updates, times = [], []
         for client, result in zip(clients, results):
             if self.measure_ipc:

@@ -1,0 +1,26 @@
+"""RG301 fixture (bad twin): round-state mutation missing from checkpoint."""
+
+
+class BufferedMode:
+    """Event-driven mode whose checkpoint forgets its pending buffer."""
+
+    def __init__(self):
+        self._clock = 0.0
+        self._pending = []
+        self._flushed = 0
+
+    def on_result(self, update):
+        self._clock += 1.0
+        self._pending.append(update)  # expect: RG301
+        return len(self._pending)
+
+    def flush(self):
+        self._flushed += 1  # expect: RG301
+        batch, self._pending = self._pending, []
+        return batch
+
+    def state_dict(self):
+        return {"clock": self._clock}
+
+    def load_state_dict(self, state):
+        self._clock = state["clock"]

@@ -1,0 +1,32 @@
+"""RG301 fixture (good twin): every mutated field round-trips."""
+
+
+class BufferedMode:
+    """Event-driven mode whose checkpoint covers all round state."""
+
+    def __init__(self):
+        self._clock = 0.0
+        self._pending = []
+        self._flushed = 0
+
+    def on_result(self, update):
+        self._clock += 1.0
+        self._pending.append(update)
+        return len(self._pending)
+
+    def flush(self):
+        self._flushed += 1
+        batch, self._pending = self._pending, []
+        return batch
+
+    def state_dict(self):
+        return {
+            "clock": self._clock,
+            "pending": list(self._pending),
+            "flushed": self._flushed,
+        }
+
+    def load_state_dict(self, state):
+        self._clock = state["clock"]
+        self._pending = list(state["pending"])
+        self._flushed = state["flushed"]

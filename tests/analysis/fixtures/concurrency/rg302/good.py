@@ -1,0 +1,18 @@
+"""RG302 fixture (good twin): reductions and pushes go through sorted()."""
+
+import heapq
+
+
+def total_loss(losses):
+    pool = {round(x, 6) for x in losses}
+    return sum(sorted(pool))
+
+
+def mean_update(updates):
+    staged = sorted(set(updates))
+    return sum(staged) / len(staged)
+
+
+def schedule(heap, ready, seq_source):
+    for cid in sorted(set(ready)):
+        heapq.heappush(heap, (0.0, next(seq_source), cid))

@@ -1,0 +1,27 @@
+"""RG303 fixture (bad twin): RNG drawn under arrival-order control flow.
+
+Whether the draw happens depends on what came off the event heap, so
+the stream position after this method is a function of the schedule,
+not the seed.
+"""
+
+import heapq
+
+
+class AsyncLoop:
+    def __init__(self, rng):
+        self.rng = rng
+        self._events = []
+        self._last = None
+
+    def step(self):
+        self._last = heapq.heappop(self._events)
+        if self._last[0] > 1.0:
+            return self.rng.random()  # expect: RG303
+        return 0.0
+
+    def drain(self, conn):
+        while conn.poll():
+            payload = conn.recv()
+            jitter = self.rng.uniform(0.0, 1.0)  # expect: RG303
+            self._events.append((payload, jitter))

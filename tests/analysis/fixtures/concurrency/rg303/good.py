@@ -1,0 +1,30 @@
+"""RG303 fixture (good twin): draws happen unconditionally, then gate.
+
+The stream advances the same number of times whatever the schedule;
+only the *use* of the drawn value is schedule-dependent, which is
+deterministic given the seed.
+"""
+
+import heapq
+
+
+class AsyncLoop:
+    def __init__(self, rng):
+        self.rng = rng
+        self._events = []
+        self._last = None
+
+    def step(self):
+        jitter = self.rng.random()
+        self._last = heapq.heappop(self._events)
+        if self._last[0] > 1.0:
+            return jitter
+        return 0.0
+
+    def drain(self, conn, budget):
+        draws = [self.rng.uniform(0.0, 1.0) for _ in range(budget)]
+        taken = 0
+        while conn.poll() and taken < budget:
+            payload = conn.recv()
+            self._events.append((payload, draws[taken]))
+            taken += 1

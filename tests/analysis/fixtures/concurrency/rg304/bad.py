@@ -1,0 +1,25 @@
+"""RG304 fixture (bad twin): shared-memory lifecycle violations."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))  # expect: RG304
+    shm.buf[: len(payload)] = payload
+    shm.close()
+
+
+def broadcast(payload, ok):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))  # expect: RG304
+    shm.buf[: len(payload)] = payload
+    if ok:
+        shm.close()
+        shm.unlink()
+
+
+def drain(name):
+    shm = shared_memory.SharedMemory(name=name)
+    shm.unlink()
+    data = bytes(shm.buf)  # expect: RG304
+    shm.close()
+    return data

@@ -1,0 +1,19 @@
+"""RG304 fixture (good twin): create/attach lifecycles balanced on all paths."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def drain(name):
+    shm = shared_memory.SharedMemory(name=name)
+    data = bytes(shm.buf)
+    shm.close()
+    return data

@@ -1,0 +1,16 @@
+"""RG305 fixture (bad twin): heap entries with no total-order tie-break.
+
+Two entries with equal timestamps fall through to comparing payloads
+(or raise on uncomparable ones), so pop order under ties depends on
+push order and heap layout instead of an explicit contract.
+"""
+
+import heapq
+
+
+def enqueue(events, at_time, payload):
+    heapq.heappush(events, (at_time, payload))  # expect: RG305
+
+
+def rotate(events, at_time, payload):
+    return heapq.heappushpop(events, (at_time, payload))  # expect: RG305

@@ -1,0 +1,11 @@
+"""RG305 fixture (good twin): entries carry an explicit sequence tie-break."""
+
+import heapq
+
+
+def enqueue(events, at_time, seq, payload):
+    heapq.heappush(events, (at_time, seq, payload))
+
+
+def rotate(events, at_time, tickets, payload):
+    return heapq.heappushpop(events, (at_time, next(tickets), payload))

@@ -246,7 +246,7 @@ class TestPassSelection:
         assert main(["--passes", "shape", str(path)]) == 2
         err = capsys.readouterr().err
         assert "unknown pass(es): shape" in err
-        assert "lint, flow, shapes, gradcheck, contracts" in err
+        assert "lint, flow, shapes, concurrency, gradcheck, contracts" in err
 
     def test_passes_selects_positively(self, tmp_path, capsys):
         # A shapes-only run on an un-dtyped hot-path allocator fires
@@ -288,6 +288,57 @@ class TestPassSelection:
         # With both entries accepted, the full static run is clean.
         capsys.readouterr()
         assert main(_STATIC + base) == 0
+
+
+class TestStats:
+    """The ``--stats`` line and the ``--write-baseline`` summary."""
+
+    def _dirty_file(self, tmp_path):
+        p = tmp_path / "dirty.py"
+        p.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        return p
+
+    def test_stats_flag_reports_per_pass_counts(self, tmp_path, capsys):
+        path = self._dirty_file(tmp_path)
+        assert main(_STATIC + ["--stats", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "stats: " in out
+        # The lint pass owns RG001; every other selected pass is zero.
+        assert "lint=1" in out
+        assert "flow=0" in out
+        assert "shapes=0" in out
+        assert "concurrency=0" in out
+        assert "engine cache: off" in out
+        assert "1 file(s)" in out
+
+    def test_stats_line_is_opt_in(self, tmp_path, capsys):
+        path = self._dirty_file(tmp_path)
+        assert main(_STATIC + [str(path)]) == 1
+        assert "stats: " not in capsys.readouterr().out
+
+    def test_write_baseline_reports_summary_and_stats(self, tmp_path, capsys):
+        path = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv = _STATIC + ["--baseline", str(baseline), "--write-baseline",
+                          str(path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "baseline: accepted 1 finding(s) (0 preserved)" in out
+        assert str(baseline) in out
+        # The summary always carries the stats line: a baseline write is
+        # exactly where you want to see what each pass contributed.
+        assert "stats: " in out
+        assert "lint=1" in out
+
+    def test_stats_reports_engine_cache_miss_then_hit(self, tmp_path, capsys):
+        path = self._dirty_file(tmp_path)
+        cache = tmp_path / "cache"
+        argv = ["--skip", "gradcheck", "--skip", "contracts",
+                "--cache-dir", str(cache), "--stats", str(path)]
+        assert main(argv) == 1
+        assert "engine cache: miss" in capsys.readouterr().out
+        assert main(argv) == 1
+        assert "engine cache: hit" in capsys.readouterr().out
 
 
 class TestPerDirectoryScoping:
